@@ -1,0 +1,96 @@
+"""Ablation benchmarks for the design choices DESIGN.md calls out.
+
+Not a paper figure: these price the individual NDA mechanisms on micro-
+kernels that isolate one behaviour each, and sanity-check the design-space
+claims (e.g. Bypass Restriction only costs where store addresses resolve
+late; load restriction preserves MLP).
+"""
+
+from repro.config import (
+    NDAPolicyName,
+    baseline_ooo,
+    nda_config,
+)
+from repro.core.ooo import run_program
+from repro.stats.report import render_table
+from repro.workloads.kernels import (
+    dependence_chain,
+    mispredict_heavy,
+    pointer_chase,
+    store_load_aliasing,
+    streaming,
+    wide_alu,
+)
+
+from benchmarks.common import publish
+
+KERNELS = [
+    ("pointer_chase", lambda: pointer_chase(1_000, 2048)),
+    ("streaming", lambda: streaming(1_000)),
+    ("dependence_chain", lambda: dependence_chain(1_500)),
+    ("wide_alu", lambda: wide_alu(1_500)),
+    ("mispredict_heavy", lambda: mispredict_heavy(1_000)),
+    ("store_load_aliasing", lambda: store_load_aliasing(800)),
+]
+
+CONFIGS = [
+    ("OoO", baseline_ooo()),
+    ("Permissive", nda_config(NDAPolicyName.PERMISSIVE)),
+    ("Permissive+BR", nda_config(NDAPolicyName.PERMISSIVE_BR)),
+    ("Strict", nda_config(NDAPolicyName.STRICT)),
+    ("Restricted Loads", nda_config(NDAPolicyName.LOAD_RESTRICTION)),
+    ("Full Protection", nda_config(NDAPolicyName.FULL_PROTECTION)),
+]
+
+
+def _sweep():
+    table = {}
+    for kernel_name, make in KERNELS:
+        program = make()
+        for config_label, config in CONFIGS:
+            outcome = run_program(program, config)
+            table[(kernel_name, config_label)] = outcome
+    return table
+
+
+def test_ablation_kernels(benchmark):
+    table = benchmark.pedantic(_sweep, rounds=1, iterations=1)
+
+    headers = ["kernel"] + [label for label, _ in CONFIGS]
+    rows = []
+    for kernel_name, _ in KERNELS:
+        row = [kernel_name]
+        base = table[(kernel_name, "OoO")].cpi
+        for config_label, _ in CONFIGS:
+            cpi = table[(kernel_name, config_label)].cpi
+            row.append("%.2f (%+.0f%%)" % (cpi, (cpi / base - 1) * 100))
+        rows.append(row)
+    publish(
+        "ablations",
+        render_table(headers, rows,
+                     title="Ablations: kernel CPI per NDA mechanism"),
+    )
+
+    # Bypass Restriction only matters when loads bypass unresolved stores.
+    alias_perm = table[("store_load_aliasing", "Permissive")].cpi
+    alias_br = table[("store_load_aliasing", "Permissive+BR")].cpi
+    stream_perm = table[("streaming", "Permissive")].cpi
+    stream_br = table[("streaming", "Permissive+BR")].cpi
+    assert alias_br >= alias_perm
+    assert abs(stream_br - stream_perm) / stream_perm < 0.05
+
+    # Load restriction preserves MLP on independent streams.
+    stream_loadr = table[("streaming", "Restricted Loads")]
+    assert stream_loadr.stats.mlp > 1.5
+
+    # Strict propagation prices branch-shadow scheduling, so the
+    # mispredict-heavy kernel suffers more than the branch-free chain.
+    chain_ratio = (
+        table[("dependence_chain", "Strict")].cpi
+        / table[("dependence_chain", "OoO")].cpi
+    )
+    branchy_ratio = (
+        table[("mispredict_heavy", "Strict")].cpi
+        / table[("mispredict_heavy", "OoO")].cpi
+    )
+    assert branchy_ratio >= chain_ratio

@@ -1,0 +1,30 @@
+"""Figure 7: per-benchmark CPI normalized to OoO, all ten configurations.
+
+Regenerates the paper's main performance figure: every SPEC-like benchmark
+under OoO, the six NDA policies, In-Order, and both InvisiSpec variants,
+with 95% confidence intervals from SMARTS-style sampling.
+"""
+
+from repro.harness import render_figure7
+
+from benchmarks.common import publish
+
+
+def test_figure7_normalized_cpi(benchmark, suite):
+    def render():
+        return render_figure7(suite)
+
+    text = benchmark.pedantic(render, rounds=1, iterations=1)
+    publish("figure7", text)
+    from benchmarks.common import RESULTS_DIR
+    suite.save_summary(RESULTS_DIR / "suite_summary.json")
+
+    # Shape assertions mirroring the paper's qualitative claims.
+    ooo = suite.mean_normalized_cpi("OoO")
+    permissive = suite.mean_normalized_cpi("Permissive")
+    full = suite.mean_normalized_cpi("Full Protection")
+    inorder = suite.mean_normalized_cpi("In-Order")
+    assert ooo == 1.0
+    assert ooo <= permissive <= full <= inorder
+    assert suite.gap_closed_pct("Permissive") > 60
+    assert suite.gap_closed_pct("Full Protection") > 30

@@ -1,0 +1,37 @@
+"""Figure 8: the Fig. 4 attacks repeated under NDA permissive propagation.
+
+The cycle differences of Fig. 4 must disappear: the correct secret byte is
+indistinguishable from every other candidate on both channels.
+"""
+
+from repro.harness.figures import figure8, render_figure8
+from repro.stats.report import render_series
+
+from benchmarks.common import attack_guess_count, publish
+
+
+def test_figure8_nda_blocks_both_channels(benchmark):
+    guesses = sorted(set(range(0, 256, 256 // attack_guess_count() or 1))
+                     | {42})
+
+    data = benchmark.pedantic(
+        lambda: figure8(secret=42, guesses=guesses),
+        rounds=1, iterations=1,
+    )
+    text = render_figure8(data)
+    for channel in ("cache", "btb"):
+        outcome = data[channel]
+        text += "\n\n" + render_series(
+            "Figure 8 series (%s channel, NDA permissive)" % channel,
+            outcome.guesses, outcome.timings,
+            x_label="guess", y_label="cycles",
+        )
+    publish("figure8", text)
+
+    assert not data["cache"].leaked
+    assert not data["btb"].leaked
+    # Flat series: the secret's timing equals the modal timing.
+    for outcome in data.values():
+        timings = sorted(outcome.timings)
+        median = timings[len(timings) // 2]
+        assert abs(outcome.timing_of(42) - median) <= 5

@@ -1,0 +1,74 @@
+"""Figure 9a-9d: aggregated pipeline statistics across the suite.
+
+* 9a — cycle breakdown (commit / memory stall / back-end stall / front-end
+  stall), normalized to baseline OoO cycles.
+* 9b — memory-level parallelism (geometric mean).
+* 9c — instruction-level parallelism (geometric mean).
+* 9d — mean dispatch-to-issue latency.
+"""
+
+from repro.harness import (
+    figure9b,
+    figure9c,
+    figure9d,
+    render_figure9a,
+    render_figure9bc,
+    render_figure9d,
+)
+from repro.harness.experiment import BASELINE_LABEL, IN_ORDER_LABEL
+from repro.stats.counters import CycleClass
+
+from benchmarks.common import publish
+
+
+def test_figure9a_cycle_breakdown(benchmark, suite):
+    text = benchmark.pedantic(
+        lambda: render_figure9a(suite), rounds=1, iterations=1
+    )
+    publish("figure9a", text)
+
+    base = suite.breakdown(BASELINE_LABEL)
+    full = suite.breakdown("Full Protection")
+    # NDA restricts scheduling: total (normalized) cycles grow, and the
+    # growth shows up in commit + back-end/memory stalls (paper §6.3).
+    assert sum(full.values()) > sum(base.values())
+    grown = (
+        full[CycleClass.BACKEND_STALL] + full[CycleClass.MEMORY_STALL]
+        + full[CycleClass.COMMIT]
+    )
+    base_grown = (
+        base[CycleClass.BACKEND_STALL] + base[CycleClass.MEMORY_STALL]
+        + base[CycleClass.COMMIT]
+    )
+    assert grown > base_grown
+
+
+def test_figure9b_9c_parallelism(benchmark, suite):
+    text = benchmark.pedantic(
+        lambda: render_figure9bc(suite), rounds=1, iterations=1
+    )
+    publish("figure9bc", text)
+
+    mlp = figure9b(suite)
+    ilp = figure9c(suite)
+    # In-order cannot exceed 1.0 on either axis; every NDA policy beats it.
+    assert mlp[IN_ORDER_LABEL] <= 1.0
+    assert ilp[IN_ORDER_LABEL] <= 1.0
+    for label in ("Permissive", "Strict", "Full Protection"):
+        assert mlp[label] > mlp[IN_ORDER_LABEL]
+        assert ilp[label] > ilp[IN_ORDER_LABEL]
+    # NDA may reduce parallelism relative to OoO, but not below in-order.
+    assert mlp["Full Protection"] <= mlp[BASELINE_LABEL] * 1.05
+
+
+def test_figure9d_wakeup_latency(benchmark, suite):
+    text = benchmark.pedantic(
+        lambda: render_figure9d(suite), rounds=1, iterations=1
+    )
+    publish("figure9d", text)
+
+    data = figure9d(suite)
+    # NDA defers wake-ups: dispatch-to-issue latency grows with strictness.
+    assert data["Permissive"] >= data[BASELINE_LABEL] - 0.5
+    assert data["Full Protection"] > data[BASELINE_LABEL]
+    assert data["Strict"] >= data["Permissive"] - 0.5

@@ -1,0 +1,116 @@
+"""Software mitigations vs. NDA (the §3.2 comparison).
+
+Measures the ``lfence`` hardening pass (fences on both outcomes of every
+conditional branch) against NDA's permissive propagation on branch-heavy
+workloads, and verifies the paper's two claims about software defenses:
+they only block the techniques they target, and blanket fencing costs far
+more than hardware propagation control (the paper cites 68-247% for
+compiler-based schemes).
+"""
+
+from dataclasses import replace as drep
+
+from repro.attacks import meltdown, spectre_v1, ssb
+from repro.attacks.common import (
+    CACHE_LEAK_MARGIN,
+    AttackOutcome,
+    default_guesses,
+    read_timings,
+    run_attack,
+)
+from repro.attacks.ssb import attack_guesses
+from repro.config import NDAPolicyName, baseline_ooo, nda_config
+from repro.core.ooo import run_program
+from repro.mitigations import harden_lfence, static_overhead
+from repro.stats.report import render_table
+from repro.workloads.generator import generate_program
+from repro.workloads.profiles import profile
+
+from benchmarks.common import publish
+
+BENCHMARKS = ("deepsjeng", "leela", "perlbench", "x264")
+
+
+def _sweep():
+    rows = []
+    for bench in BENCHMARKS:
+        prof = drep(profile(bench), indirect_call_frac=0.0)
+        program = generate_program(prof, 5_000, seed=0)
+        hardened = harden_lfence(program)
+        base = run_program(program, baseline_ooo()).stats.cycles
+        fenced = run_program(hardened, baseline_ooo()).stats.cycles
+        nda = run_program(
+            program, nda_config(NDAPolicyName.PERMISSIVE)
+        ).stats.cycles
+        rows.append({
+            "benchmark": bench,
+            "lfence_pct": (fenced / base - 1) * 100,
+            "nda_pct": (nda / base - 1) * 100,
+            "static_pct": static_overhead(program, hardened) * 100,
+        })
+    return rows
+
+
+def _security():
+    guesses = default_guesses(42, 16)
+    checks = {}
+    v1 = harden_lfence(spectre_v1.build_program(42, guesses))
+    outcome = run_attack(v1, baseline_ooo())
+    checks["spectre_v1"] = AttackOutcome(
+        "v1", "cache", outcome.label, 42, read_timings(outcome, guesses),
+        guesses, CACHE_LEAK_MARGIN,
+    ).leaked
+    ssb_guesses = attack_guesses(42, 16)
+    hardened_ssb = harden_lfence(ssb.build_program(42, ssb_guesses))
+    outcome = run_attack(hardened_ssb, baseline_ooo())
+    checks["ssb"] = AttackOutcome(
+        "ssb", "cache", outcome.label, 42,
+        read_timings(outcome, ssb_guesses), ssb_guesses,
+        CACHE_LEAK_MARGIN,
+    ).leaked
+    hardened_meltdown = harden_lfence(meltdown.build_program(42, guesses))
+    outcome = run_attack(hardened_meltdown, baseline_ooo())
+    checks["meltdown"] = AttackOutcome(
+        "meltdown", "cache", outcome.label, 42,
+        read_timings(outcome, guesses), guesses, CACHE_LEAK_MARGIN,
+    ).leaked
+    return checks
+
+
+def test_lfence_vs_nda(benchmark):
+    rows, checks = benchmark.pedantic(
+        lambda: (_sweep(), _security()), rounds=1, iterations=1
+    )
+
+    table_rows = [
+        (row["benchmark"], "%.0f%%" % row["lfence_pct"],
+         "%.0f%%" % row["nda_pct"], "%.0f%%" % row["static_pct"])
+        for row in rows
+    ]
+    mean_lfence = sum(r["lfence_pct"] for r in rows) / len(rows)
+    mean_nda = sum(r["nda_pct"] for r in rows) / len(rows)
+    table_rows.append(("MEAN", "%.0f%%" % mean_lfence,
+                       "%.0f%%" % mean_nda, ""))
+    text = render_table(
+        ("benchmark", "lfence pass", "NDA permissive", "code growth"),
+        table_rows,
+        title="Software mitigation cost vs. NDA (runtime overhead on "
+              "insecure OoO hardware)",
+    )
+    text += (
+        "\n\nlfence-hardened binaries vs. the attacks:"
+        "\n  spectre_v1 blocked: %s"
+        "\n  ssb still leaks:    %s (no branch to fence)"
+        "\n  meltdown still leaks: %s (chosen-code, no mispredict needed)"
+        % (not checks["spectre_v1"], checks["ssb"], checks["meltdown"])
+    )
+    publish("software_mitigations", text)
+
+    # The paper's claims.
+    assert not checks["spectre_v1"]
+    assert checks["ssb"]
+    assert checks["meltdown"]
+    assert mean_lfence > 2 * mean_nda
+    # The cited compiler-scheme range is 68-247%: we should land inside
+    # (or above) its lower half on branch-heavy integer codes.
+    assert mean_lfence > 40

@@ -1,0 +1,40 @@
+"""Tables 1 & 2 security columns: the live attack matrix.
+
+Runs every implemented attack PoC against every configuration and checks
+each cell against the paper's expectation.  This is the benchmark-harness
+twin of ``tests/test_attack_matrix.py`` with a wider guess sweep.
+"""
+
+from repro.harness.tables import render_table1, table1_matrix
+
+from benchmarks.common import publish
+
+
+def test_table1_security_matrix(benchmark):
+    rows = benchmark.pedantic(
+        lambda: table1_matrix(guesses=32), rounds=1, iterations=1
+    )
+    publish("table1_matrix", render_table1(rows))
+
+    mismatches = [
+        row for row in rows if row["leaked"] != row["expected"]
+    ]
+    assert not mismatches, mismatches
+
+    # Headline claims of the paper:
+    # 1. everything leaks on the insecure baseline,
+    insecure = [row for row in rows if row["config"] == "OoO"]
+    assert all(row["leaked"] for row in insecure)
+    # 2. no attack leaks under full protection or in-order,
+    for config in ("Full Protection", "In-Order"):
+        assert not any(
+            row["leaked"] for row in rows if row["config"] == config
+        )
+    # 3. the BTB channel defeats InvisiSpec but not NDA.
+    btb_rows = {
+        row["config"]: row["leaked"]
+        for row in rows if row["attack"] == "spectre_v1_btb"
+    }
+    assert btb_rows["InvisiSpec-Spectre"]
+    assert btb_rows["InvisiSpec-Future"]
+    assert not btb_rows["Permissive"]

@@ -1,0 +1,31 @@
+"""Table 2: per-mechanism slowdown vs. the insecure OoO baseline.
+
+Prints measured overheads next to the paper's numbers, plus the derived
+headline claims (speedup over In-Order, share of the In-Order/OoO gap
+recovered).
+"""
+
+from repro.harness import render_table2
+from repro.harness.tables import table2
+
+from benchmarks.common import publish
+
+
+def test_table2_policy_overheads(benchmark, suite):
+    rows = benchmark.pedantic(
+        lambda: table2(suite), rounds=1, iterations=1
+    )
+    publish("table2", render_table2(rows))
+
+    by_label = {row["mechanism"]: row for row in rows}
+    # Security-ordering of overheads within each propagation family.
+    assert by_label["Permissive"]["overhead_pct"] <= \
+        by_label["Permissive+BR"]["overhead_pct"] + 1e-9
+    assert by_label["Strict"]["overhead_pct"] <= \
+        by_label["Strict+BR"]["overhead_pct"] + 1e-9
+    assert by_label["Strict+BR"]["overhead_pct"] <= \
+        by_label["Full Protection"]["overhead_pct"] + 1e-9
+    # Every NDA policy beats In-Order.
+    for label in ("Permissive", "Permissive+BR", "Strict", "Strict+BR",
+                  "Restricted Loads", "Full Protection"):
+        assert by_label[label]["speedup_vs_inorder"] > 1.0

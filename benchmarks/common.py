@@ -1,0 +1,56 @@
+"""Shared helpers for the figure/table regeneration benchmarks.
+
+One SMARTS sweep over the full configuration matrix powers Fig. 7,
+Fig. 9a-9d, and Table 2, so it is computed once per session.  Environment
+knobs (for quick runs):
+
+    REPRO_BENCH_BENCHMARKS   comma-separated benchmark names
+    REPRO_BENCH_SAMPLES      SMARTS samples per (benchmark, config)
+    REPRO_BENCH_MEASURE      measured instructions per sample
+    REPRO_FULL_GUESSES       guess-sweep size for the attack figures
+
+Rendered artifacts are printed and also written to ``results/``.
+"""
+
+from __future__ import annotations
+
+import os
+from pathlib import Path
+
+from repro.workloads.profiles import DEFAULT_SUITE
+
+RESULTS_DIR = Path(__file__).resolve().parent.parent / "results"
+
+
+def _env_int(name: str, default: int) -> int:
+    try:
+        return int(os.environ.get(name, ""))
+    except ValueError:
+        return default
+
+
+def bench_benchmarks():
+    names = os.environ.get("REPRO_BENCH_BENCHMARKS")
+    if names:
+        return [n.strip() for n in names.split(",") if n.strip()]
+    return list(DEFAULT_SUITE)
+
+
+def bench_samples() -> int:
+    return _env_int("REPRO_BENCH_SAMPLES", 4)
+
+
+def bench_measure() -> int:
+    return _env_int("REPRO_BENCH_MEASURE", 6_000)
+
+
+def attack_guess_count() -> int:
+    return _env_int("REPRO_FULL_GUESSES", 256)
+
+
+def publish(name: str, text: str) -> None:
+    """Print a rendered artifact and persist it under results/."""
+    RESULTS_DIR.mkdir(exist_ok=True)
+    (RESULTS_DIR / ("%s.txt" % name)).write_text(text + "\n")
+    print()
+    print(text)

@@ -1,0 +1,23 @@
+"""Pytest fixtures for the benchmark suite."""
+
+import pytest
+
+from benchmarks.common import (
+    bench_benchmarks,
+    bench_measure,
+    bench_samples,
+)
+from repro.harness import run_suite
+
+
+@pytest.fixture(scope="session")
+def suite():
+    """The shared Fig. 7 sweep (all ten configurations)."""
+    measure = bench_measure()
+    return run_suite(
+        benchmarks=bench_benchmarks(),
+        samples=bench_samples(),
+        warmup=max(1_000, measure // 4),
+        measure=measure,
+        instructions=measure + measure // 2 + 2_000,
+    )

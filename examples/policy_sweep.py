@@ -1,0 +1,84 @@
+"""Sweep the six NDA policies (plus baselines) over two workloads.
+
+Prints per-policy CPI, overhead vs. the insecure baseline, and the security
+properties each policy provides — a miniature of Table 2.
+
+    python examples/policy_sweep.py
+"""
+
+from repro import (
+    NDAPolicyName,
+    baseline_ooo,
+    invisispec_config,
+    nda_config,
+    run_inorder,
+    run_program,
+)
+from repro.nda.policy import policy_for
+from repro.workloads import spec_program
+
+BENCHMARKS = ("leela", "lbm")
+INSTRUCTIONS = 6_000
+
+
+def security_summary(policy_name) -> str:
+    if policy_name is None:
+        return "none"
+    policy = policy_for(policy_name)
+    parts = []
+    if policy.blocks_control_steering:
+        parts.append("steering")
+    if policy.blocks_ssb:
+        parts.append("ssb")
+    if policy.protects_gprs:
+        parts.append("gprs")
+    if policy.blocks_chosen_code:
+        parts.append("chosen-code")
+    return "+".join(parts) if parts else "none"
+
+
+def main() -> None:
+    programs = {
+        bench: spec_program(bench, INSTRUCTIONS, seed=3)
+        for bench in BENCHMARKS
+    }
+
+    baselines = {
+        bench: run_program(programs[bench], baseline_ooo()).cpi
+        for bench in BENCHMARKS
+    }
+
+    configs = [("OoO", None, baseline_ooo())]
+    for policy in NDAPolicyName:
+        configs.append((nda_config(policy).label(), policy,
+                        nda_config(policy)))
+    configs.append(("InvisiSpec-Spectre", None, invisispec_config(False)))
+    configs.append(("InvisiSpec-Future", None, invisispec_config(True)))
+
+    header = "%-20s" % "policy"
+    for bench in BENCHMARKS:
+        header += " %14s" % bench
+    header += "  %-28s" % "blocks"
+    print(header)
+    print("-" * len(header))
+
+    for label, policy, config in configs:
+        row = "%-20s" % label
+        for bench in BENCHMARKS:
+            cpi = run_program(programs[bench], config).cpi
+            row += " %6.2f (%4.0f%%)" % (
+                cpi, (cpi / baselines[bench] - 1) * 100
+            )
+        row += "  %-28s" % security_summary(policy)
+        print(row)
+
+    row = "%-20s" % "In-Order"
+    for bench in BENCHMARKS:
+        cpi = run_inorder(programs[bench]).cpi
+        row += " %6.2f (%4.0f%%)" % (cpi, (cpi / baselines[bench] - 1) * 100)
+    row += "  %-28s" % "everything (no speculation)"
+    print(row)
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,53 @@
+"""Quickstart: simulate one SPEC-like benchmark under NDA.
+
+Runs the synthetic `mcf` workload on the insecure out-of-order baseline,
+two NDA policies, and the in-order core, and prints the resulting CPI —
+the 60-second version of the paper's Fig. 7.
+
+    python examples/quickstart.py
+"""
+
+from repro import (
+    NDAPolicyName,
+    baseline_ooo,
+    nda_config,
+    run_inorder,
+    run_program,
+)
+from repro.harness import render_table3
+from repro.workloads import spec_program
+
+
+def main() -> None:
+    print(render_table3())
+    print()
+
+    program = spec_program("deepsjeng", instructions=8_000, seed=1)
+    print("workload: %s (%d static micro-ops)" % (program.name,
+                                                  len(program)))
+    print()
+
+    rows = []
+    baseline = run_program(program, baseline_ooo())
+    rows.append(("OoO (insecure)", baseline))
+    rows.append((
+        "NDA permissive",
+        run_program(program, nda_config(NDAPolicyName.PERMISSIVE)),
+    ))
+    rows.append((
+        "NDA full protection",
+        run_program(program, nda_config(NDAPolicyName.FULL_PROTECTION)),
+    ))
+    rows.append(("In-order", run_inorder(program)))
+
+    print("%-22s %10s %10s %12s" % ("configuration", "cycles", "CPI",
+                                    "vs OoO"))
+    for label, outcome in rows:
+        print("%-22s %10d %10.3f %11.2fx" % (
+            label, outcome.stats.cycles, outcome.cpi,
+            outcome.cpi / baseline.cpi,
+        ))
+
+
+if __name__ == "__main__":
+    main()

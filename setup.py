@@ -1,0 +1,7 @@
+"""Setup shim: lets ``pip install -e .`` work without the ``wheel`` package
+(this environment is offline).  All real metadata lives in pyproject.toml.
+"""
+
+from setuptools import setup
+
+setup()

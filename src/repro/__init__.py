@@ -1,0 +1,80 @@
+"""repro: a reproduction of "NDA: Preventing Speculative Execution Attacks
+at Their Source" (Weisse et al., MICRO 2019).
+
+The package implements, from scratch, a cycle-level out-of-order processor
+simulator, the six NDA speculative-data-propagation policies, an InvisiSpec
+comparison model, an in-order baseline, the attack proof-of-concepts
+(Spectre v1 via the d-cache and the BTB, Meltdown, speculative store bypass,
+LazyFP), synthetic SPEC CPU 2017-like workloads, and the harness that
+regenerates every table and figure of the paper's evaluation.
+
+Quick start::
+
+    from repro import baseline_ooo, nda, NDAPolicyName, run_program
+    from repro.workloads import spec_program
+
+    program = spec_program("mcf", instructions=20_000, seed=1)
+    insecure = run_program(program, baseline_ooo())
+    protected = run_program(program, nda_config(NDAPolicyName.PERMISSIVE))
+    print(insecure.cpi, protected.cpi)
+"""
+
+from repro.config import (
+    CacheConfig,
+    CoreConfig,
+    MemConfig,
+    NDAPolicyName,
+    ProtectionScheme,
+    SimConfig,
+    all_figure7_configs,
+    baseline_ooo,
+    invisispec_config,
+    nda_config,
+    with_nda_delay,
+)
+from repro.core import (
+    InOrderCore,
+    OutOfOrderCore,
+    RunOutcome,
+    run_inorder,
+    run_program,
+)
+from repro.errors import (
+    AssemblyError,
+    ConfigError,
+    DeadlockError,
+    ReproError,
+    SimulationError,
+)
+from repro.isa import Assembler, Opcode, Program, run_reference
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "CacheConfig",
+    "CoreConfig",
+    "MemConfig",
+    "NDAPolicyName",
+    "ProtectionScheme",
+    "SimConfig",
+    "all_figure7_configs",
+    "baseline_ooo",
+    "invisispec_config",
+    "nda_config",
+    "with_nda_delay",
+    "InOrderCore",
+    "OutOfOrderCore",
+    "RunOutcome",
+    "run_inorder",
+    "run_program",
+    "AssemblyError",
+    "ConfigError",
+    "DeadlockError",
+    "ReproError",
+    "SimulationError",
+    "Assembler",
+    "Opcode",
+    "Program",
+    "run_reference",
+    "__version__",
+]

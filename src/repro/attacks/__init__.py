@@ -1,0 +1,43 @@
+"""Attack proof-of-concepts running on the simulated cores.
+
+Each module builds a complete micro-op program implementing the paper's
+three attack phases (access, transmit, recover — Fig. 3) and reports an
+:class:`~repro.attacks.common.AttackOutcome` whose ``leaked`` property says
+whether the secret was recoverable from the covert channel.
+"""
+
+from repro.attacks import (
+    gpr_steering,
+    lazyfp,
+    meltdown,
+    netspectre,
+    spectre_btb,
+    spectre_icache,
+    spectre_v1,
+    spectre_v2,
+    ssb,
+)
+from repro.attacks.common import (
+    AttackOutcome,
+    BitChannelOutcome,
+    default_guesses,
+    read_timings,
+    run_attack,
+)
+
+__all__ = [
+    "gpr_steering",
+    "lazyfp",
+    "meltdown",
+    "netspectre",
+    "spectre_btb",
+    "spectre_icache",
+    "spectre_v1",
+    "spectre_v2",
+    "ssb",
+    "AttackOutcome",
+    "BitChannelOutcome",
+    "default_guesses",
+    "read_timings",
+    "run_attack",
+]

@@ -1,0 +1,237 @@
+"""Shared infrastructure for the attack proof-of-concepts.
+
+Every attack is a complete micro-op program that runs on a simulated core:
+it mis-trains predictors / arranges hardware state, triggers wrong-path
+execution that accesses and covertly transmits a secret, and then executes
+a *recover phase* that times the covert channel with ``RDTSC`` and stores
+one cycle count per guess into a results array.  The host-side harness
+reads the results array out of final memory and decides whether the secret
+leaked.
+
+Channel layout notes:
+
+* The probe array uses a 4160-byte stride (4 kB + one line) instead of the
+  paper's 512 so that consecutive guesses never collide in an L1 set during
+  the destructive recover loop — the same trick real PoCs use.
+* ``RDTSC`` is serializing in this ISA (it issues only at the head of the
+  ROB), which gives it ``rdtscp``-like fencing semantics without extra
+  fences.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional
+
+from repro.config import SimConfig
+from repro.core.inorder import InOrderCore
+from repro.core.ooo import OutOfOrderCore
+from repro.core.outcome import RunOutcome
+from repro.isa.assembler import Assembler
+from repro.isa.program import Program
+from repro.isa.registers import R0, R20, R21, R22, R23, R24, R26, R29
+
+# Shared memory map for attack programs (distinct from workload addresses).
+PROBE_BASE = 0x0200_0000
+PROBE_STRIDE = 4160  # 4 kB + one line: guess lines never alias in the L1
+N_BYTE_VALUES = 256
+RESULTS_BASE = 0x0300_0000
+SCRATCH_BASE = 0x0310_0000  # link-register save slots etc.
+
+# Margins for deciding that a timing difference constitutes a leak.
+CACHE_LEAK_MARGIN = 20  # cycles; L1/L2 hit vs DRAM differ by >= ~100
+BTB_LEAK_MARGIN = 5  # cycles; correct vs squashed prediction ~ 10-20
+
+
+@dataclass
+class AttackOutcome:
+    """Result of one attack run on one configuration."""
+
+    attack: str
+    channel: str
+    config_label: str
+    secret: int
+    timings: List[int]
+    guesses: List[int]
+    margin_required: int
+    outcome: RunOutcome = field(repr=False, default=None)
+
+    @property
+    def recovered(self) -> int:
+        """The guess whose access was fastest."""
+        best = min(range(len(self.timings)), key=lambda i: self.timings[i])
+        return self.guesses[best]
+
+    @property
+    def margin(self) -> float:
+        """How far the fastest guess sits below the median timing."""
+        ordered = sorted(self.timings)
+        median = ordered[len(ordered) // 2]
+        return median - min(self.timings)
+
+    @property
+    def leaked(self) -> bool:
+        """True when the secret is recoverable from the covert channel."""
+        return (
+            self.recovered == self.secret
+            and self.margin >= self.margin_required
+        )
+
+    def timing_of(self, guess: int) -> int:
+        return self.timings[self.guesses.index(guess)]
+
+    def __repr__(self) -> str:
+        return (
+            "<AttackOutcome %s/%s on %s: secret=%d recovered=%d "
+            "margin=%.0f leaked=%s>"
+            % (self.attack, self.channel, self.config_label, self.secret,
+               self.recovered, self.margin, self.leaked)
+        )
+
+
+@dataclass
+class BitChannelOutcome:
+    """Result of a bit-serial covert channel (NetSpectre / i-cache PoCs).
+
+    These channels transmit one bit per experiment; eight experiments
+    reconstruct a byte.  ``bit_timings`` holds one cycle count per bit,
+    and a bit decodes to 1 when its timing is *fast* (the wrong path
+    warmed the structure).
+    """
+
+    attack: str
+    channel: str
+    config_label: str
+    secret: int
+    bit_timings: List[int]
+    threshold: int  # timings strictly below decode as bit == 1
+    margin_required: int
+    outcome: RunOutcome = field(repr=False, default=None)
+
+    @property
+    def recovered(self) -> int:
+        value = 0
+        for bit, timing in enumerate(self.bit_timings):
+            if timing < self.threshold:
+                value |= 1 << bit
+        return value
+
+    @property
+    def margin(self) -> float:
+        """Separation between the fast and slow timing clusters."""
+        fast = [t for t in self.bit_timings if t < self.threshold]
+        slow = [t for t in self.bit_timings if t >= self.threshold]
+        if not fast or not slow:
+            return 0.0
+        return min(slow) - max(fast)
+
+    @property
+    def leaked(self) -> bool:
+        if self.recovered != self.secret:
+            return False
+        ones = bin(self.secret).count("1")
+        if 0 < ones < 8:
+            return self.margin >= self.margin_required
+        # All-zero / all-one secrets have a single cluster; accept the
+        # decode alone (the matrix tests use mixed-bit secrets anyway).
+        return True
+
+    def __repr__(self) -> str:
+        return (
+            "<BitChannelOutcome %s/%s on %s: secret=%d recovered=%d "
+            "leaked=%s>"
+            % (self.attack, self.channel, self.config_label, self.secret,
+               self.recovered, self.leaked)
+        )
+
+
+def run_attack(
+    program: Program,
+    config: SimConfig,
+    in_order: bool = False,
+    max_cycles: int = 30_000_000,
+) -> RunOutcome:
+    """Execute an attack program on the chosen core."""
+    if in_order:
+        return InOrderCore(program, config).run(max_cycles=max_cycles)
+    return OutOfOrderCore(program, config).run(max_cycles=max_cycles)
+
+
+def read_timings(
+    outcome: RunOutcome, guesses: List[int]
+) -> List[int]:
+    """Pull the recover-phase cycle counts out of final memory."""
+    memory = outcome.state.memory
+    return [
+        memory.read_word(RESULTS_BASE + index * 8)
+        for index in range(len(guesses))
+    ]
+
+
+# ---------------------------------------------------------------------- #
+# Emission helpers shared by the attack programs.  Register convention for
+# these blocks: r20-r29 are scratch; attacks keep their own state in
+# r8-r19.
+# ---------------------------------------------------------------------- #
+
+
+def emit_probe_flush(asm: Assembler, guesses: List[int]) -> None:
+    """Flush every probe line that the recover phase will time.
+
+    Fenced on both sides: CLFLUSH is weakly ordered, so without the leading
+    fence a flush can execute before an *older* in-flight load to the same
+    line completes, leaving the line resident (the same pitfall real PoCs
+    guard against with ``mfence``).
+    """
+    asm.fence()
+    for guess in guesses:
+        asm.li(R20, PROBE_BASE + guess * PROBE_STRIDE)
+        asm.clflush(R20, 0)
+    asm.fence()
+
+
+def emit_probe_warm(asm: Assembler, guesses: List[int]) -> None:
+    """Touch every probe line (used to pre-fill TLB/page structures)."""
+    for guess in guesses:
+        asm.li(R20, PROBE_BASE + guess * PROBE_STRIDE)
+        asm.load(R21, R20, 0)
+    asm.fence()
+
+
+def emit_cache_recover(asm: Assembler, guesses: List[int]) -> None:
+    """Time a probe-array load per guess; store cycles to the results array.
+
+    Phase 3 of Fig. 3 — runs entirely on the architectural (correct) path.
+    Before timing, every probe *page* is touched through a non-measured
+    line so that TLB walks do not add noise to the per-line timings (the
+    TLB is itself a side channel; here we deliberately neutralize it to
+    isolate the d-cache signal).
+    """
+    for guess in guesses:
+        asm.li(R20, PROBE_BASE + guess * PROBE_STRIDE + 1024)
+        asm.load(R21, R20, 0)
+    asm.fence()
+    for index, guess in enumerate(guesses):
+        asm.li(R20, PROBE_BASE + guess * PROBE_STRIDE)
+        asm.rdtsc(R22)
+        asm.load(R21, R20, 0)
+        asm.rdtsc(R23)
+        asm.sub(R24, R23, R22)
+        asm.li(R26, RESULTS_BASE + index * 8)
+        asm.store(R24, R26, 0)
+
+
+def default_guesses(
+    secret: int, count: int = 64, span: int = 256
+) -> List[int]:
+    """An evenly spread guess list guaranteed to include the secret.
+
+    Attacks time every guess with a serializing recover loop, so the unit
+    tests and the security matrix use a reduced guess set; the figure
+    benchmarks pass ``range(256)`` for the full paper-style sweep.
+    """
+    if count >= span:
+        return list(range(span))
+    step = max(1, span // count)
+    guesses = sorted(set(range(0, span, step)) | {secret})
+    return guesses

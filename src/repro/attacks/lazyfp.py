@@ -1,0 +1,97 @@
+"""LazyFP / Meltdown-v3a analog — leaking a special register.
+
+LazyFP reads stale AVX registers belonging to another process; Meltdown
+v3a reads privileged MSRs.  Both are chosen-code attacks in which a
+special-register read that will fault nevertheless forwards its value to
+dependents.  The paper treats such reads "like loads" (§4.3/§5.2), so this
+PoC issues a user-mode ``RDMSR`` — the MSR holds the victim's secret —
+and transmits the value through the cache before the fault retires.
+
+Blocked only by the load-restriction family of policies, exactly like
+Meltdown (Table 2).
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+from repro.attacks.common import (
+    CACHE_LEAK_MARGIN,
+    PROBE_BASE,
+    PROBE_STRIDE,
+    AttackOutcome,
+    default_guesses,
+    emit_cache_recover,
+    emit_probe_flush,
+    read_timings,
+    run_attack,
+)
+from repro.config import SimConfig
+from repro.isa.assembler import Assembler
+from repro.isa.program import Program
+from repro.isa.registers import R9, R10, R12, R13, R20, R21
+
+SECRET_MSR = 0x10  # pretend: an AVX register holding another process's key
+SLOW_CHAIN = 0x0073_0000
+
+
+def build_program(
+    secret: int = 42, guesses: Optional[List[int]] = None
+) -> Program:
+    guesses = guesses if guesses is not None else default_guesses(secret)
+    asm = Assembler("lazyfp")
+    asm.msr(SECRET_MSR, secret)
+    asm.word(SLOW_CHAIN, SLOW_CHAIN + 0x800)
+    asm.word(SLOW_CHAIN + 0x800, 1)
+    asm.fault_handler("handler")
+
+    asm.li(R12, PROBE_BASE)
+    asm.li(R13, PROBE_STRIDE)
+    emit_probe_flush(asm, guesses)
+    asm.li(R20, SLOW_CHAIN)
+    asm.clflush(R20, 0)
+    asm.li(R20, SLOW_CHAIN + 0x800)
+    asm.clflush(R20, 0)
+    asm.fence()
+    # Retire anchor.
+    # Keep the critical sequence inside one i-cache line: a line boundary
+    # in the middle would let an i-miss serialize its dispatch.
+    asm.align(16)
+    asm.li(R9, SLOW_CHAIN)
+    asm.load(R9, R9, 0)
+    asm.load(R9, R9, 0)
+    # Access: the faulting special-register read (value still forwarded).
+    asm.rdmsr(R10, SECRET_MSR)
+    # Transmit in the fault shadow.
+    asm.mul(R21, R10, R13)
+    asm.add(R21, R21, R12)
+    asm.load(R21, R21, 0)
+    asm.nop()
+    asm.jmp("handler")
+
+    asm.label("handler")
+    emit_cache_recover(asm, guesses)
+    asm.halt()
+    return asm.build()
+
+
+def run(
+    config: SimConfig,
+    secret: int = 42,
+    guesses: Optional[List[int]] = None,
+    in_order: bool = False,
+) -> AttackOutcome:
+    """Run the LazyFP-style special-register attack on *config*."""
+    guesses = guesses if guesses is not None else default_guesses(secret)
+    program = build_program(secret, guesses)
+    outcome = run_attack(program, config, in_order=in_order)
+    return AttackOutcome(
+        attack="lazyfp",
+        channel="cache",
+        config_label=outcome.label,
+        secret=secret,
+        timings=read_timings(outcome, guesses),
+        guesses=guesses,
+        margin_required=CACHE_LEAK_MARGIN,
+        outcome=outcome,
+    )

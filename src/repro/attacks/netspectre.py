@@ -1,0 +1,147 @@
+"""NetSpectre-style attack: the FPU power-state covert channel.
+
+Schwarz et al.'s NetSpectre [55] showed that the power state of the
+FPU/AVX unit is a speculative covert channel: a wrong-path vector
+instruction wakes the power-gated unit, and the attacker senses the state
+by timing its own FP instruction.  The squash does not put the unit back
+to sleep.
+
+The transmit gadget leaks one bit per experiment: the wrong path extracts
+bit *i* of the secret and executes an ``FADD`` only when the bit is set
+(via a second, nested mispredicted branch).  Eight experiments reconstruct
+the byte.
+
+This channel has nothing to do with the d-cache, so it defeats InvisiSpec
+entirely, while every NDA policy blocks it at the source: the bit-extract
+chain depends on the unsafe load, so the nested branch never resolves and
+the FADD is never fetched on the wrong path (§5.5: "NetSpectre ... which
+are not addressed by prior work ... are defeated").
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+from repro.attacks.common import (
+    RESULTS_BASE,
+    BitChannelOutcome,
+    run_attack,
+)
+from repro.config import SimConfig
+from repro.isa.assembler import Assembler
+from repro.isa.program import Program
+from repro.isa.registers import (
+    F0, F1, F2, F3, F4, F5, R0, R10, R11, R15, R20, R21, R22, R23, R24, R26,
+)
+
+ARRAY_BASE = 0x005A_0000
+ARRAY_SIZE = 8
+SIZE_ADDR = 0x005B_0000
+SECRET_OFFSET = 0x1000
+SECRET_ADDR = ARRAY_BASE + SECRET_OFFSET
+TRAIN_CALLS = 4
+N_BITS = 8
+# Decode threshold: a warm FPU measurement costs ~(FADD latency + commit
+# overheads) ~ 10 cycles; a cold one adds the 20-cycle wake-up.
+WARM_THRESHOLD = 20
+LEAK_MARGIN = 8
+
+
+def build_program(secret: int = 42) -> Program:
+    asm = Assembler("netspectre")
+    asm.word(SIZE_ADDR, ARRAY_SIZE)
+    asm.data(ARRAY_BASE, bytes([0] * ARRAY_SIZE))  # benign values: bit == 0
+    asm.data(SECRET_ADDR, bytes([secret]))
+    asm.jmp("main")
+
+    # One victim per bit index (mirrors NetSpectre's repeated gadget
+    # invocations): r10 = x.  The bit-conditional FADD sits behind an
+    # *indirect* jump whose target is computed from the secret bit:
+    # ``target = done - 2*bit``.  Fetch follows the BTB (trained to
+    # ``done`` by the benign calls), so the FADD can only execute through
+    # a data-driven resolution redirect — i.e. only when the wrong path
+    # actually obtained the secret.  A conditional branch here would leak
+    # prediction noise instead (its not-taken path can be fetched on a
+    # whim of the direction predictor).
+    for bit in range(N_BITS):
+        asm.label("victim_%d" % bit)
+        asm.li(R20, SIZE_ADDR)
+        asm.load(R20, R20, 0)
+        asm.bge(R10, R20, "victim_done_%d" % bit)
+        asm.add(R21, R11, R10)
+        asm.loadb(R21, R21, 0)  # (1) access
+        asm.shri(R21, R21, bit)
+        asm.andi(R21, R21, 1)
+        asm.shli(R23, R21, 1)  # 2*bit
+        asm.li(R22, asm.here + 5)  # pc of victim_done below
+        asm.sub(R22, R22, R23)  # done (bit=0) or the fadd (bit=1)
+        asm.jr(R22)
+        asm.fadd(F0, F1, F2)  # (2) transmit: wake the FPU
+        asm.nop()
+        asm.label("victim_done_%d" % bit)
+        asm.ret()
+
+    asm.label("main")
+    asm.li(R11, ARRAY_BASE)
+    asm.li(R20, SECRET_ADDR)
+    asm.loadb(R21, R20, 0)  # warm the secret's line
+    asm.li(R15, 0)  # delay-loop scratch
+
+    for bit in range(N_BITS):
+        # Train both branches with in-bounds, zero-valued accesses.
+        for train in range(TRAIN_CALLS):
+            asm.li(R10, train % ARRAY_SIZE)
+            asm.call("victim_%d" % bit)
+        # Let the FPU power down: spin far past fpu_sleep_cycles without
+        # issuing FP work (the serial subi chain bounds the loop below at
+        # one cycle per iteration on every core model).
+        asm.li(R15, 500)
+        asm.label("sleep_%d" % bit)
+        asm.subi(R15, R15, 1)
+        asm.bne(R15, R0, "sleep_%d" % bit)
+        # Slow down the bounds check and fire the attack call.
+        # Fence BEFORE flushing: under InvisiSpec, an earlier invisible
+        # training load may otherwise expose (refill) the line after the
+        # flush executes out of order.
+        asm.fence()
+        asm.li(R20, SIZE_ADDR)
+        asm.clflush(R20, 0)
+        asm.fence()
+        asm.li(R10, SECRET_OFFSET)
+        asm.call("victim_%d" % bit)
+        asm.fence()
+        # (3) recover: time one FP op; fast iff the wrong path woke
+        # the unit.
+        asm.rdtsc(R22)
+        asm.fadd(F3, F4, F5)
+        asm.rdtsc(R23)
+        asm.sub(R24, R23, R22)
+        asm.li(R26, RESULTS_BASE + bit * 8)
+        asm.store(R24, R26, 0)
+    asm.halt()
+    return asm.build()
+
+
+def run(
+    config: SimConfig,
+    secret: int = 42,
+    guesses: Optional[List[int]] = None,  # unused: bit-serial channel
+    in_order: bool = False,
+) -> BitChannelOutcome:
+    """Run the NetSpectre PoC on *config*."""
+    program = build_program(secret)
+    outcome = run_attack(program, config, in_order=in_order)
+    memory = outcome.state.memory
+    bit_timings = [
+        memory.read_word(RESULTS_BASE + bit * 8) for bit in range(N_BITS)
+    ]
+    return BitChannelOutcome(
+        attack="netspectre",
+        channel="fpu",
+        config_label=outcome.label,
+        secret=secret,
+        bit_timings=bit_timings,
+        threshold=WARM_THRESHOLD,
+        margin_required=LEAK_MARGIN,
+        outcome=outcome,
+    )

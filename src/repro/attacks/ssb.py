@@ -1,0 +1,109 @@
+"""Speculative store bypass (SSB / Spectre v4).
+
+A store whose address resolves slowly (behind a division chain) is about
+to overwrite a secret with a public value.  A younger load to the same
+location executes first, *bypasses* the store in the LSQ, and reads the
+stale secret, which the wrong path transmits through the cache.  When the
+store finally resolves, the memory dependency unit squashes the load and
+everything younger; the re-executed path sees the public value — but the
+probe line touched with the secret survives the squash.
+
+The paper classifies SSB as control-steering (§4.1) and defeats it with the
+Bypass Restriction: rows 1 and 3 of Table 2 (permissive/strict without BR)
+do NOT block this attack; rows 2 and 4-6 do.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+from repro.attacks.common import (
+    CACHE_LEAK_MARGIN,
+    PROBE_BASE,
+    PROBE_STRIDE,
+    AttackOutcome,
+    default_guesses,
+    emit_cache_recover,
+    emit_probe_flush,
+    read_timings,
+    run_attack,
+)
+from repro.config import SimConfig
+from repro.isa.assembler import Assembler
+from repro.isa.program import Program
+from repro.isa.registers import (
+    R10, R12, R13, R16, R17, R18, R19, R20, R21,
+)
+
+SLOT_ADDR = 0x0080_0000  # holds the secret until the store lands
+PUBLIC_VALUE = 201  # excluded from the guess list: its probe line is
+# legitimately touched by the squash-replay of the transmit sequence.
+
+
+def attack_guesses(secret: int, count: int = 64) -> List[int]:
+    """Guess list for SSB: never time the public value's line."""
+    return [g for g in default_guesses(secret, count) if g != PUBLIC_VALUE]
+
+
+def build_program(
+    secret: int = 42, guesses: Optional[List[int]] = None
+) -> Program:
+    guesses = guesses if guesses is not None else attack_guesses(secret)
+    asm = Assembler("ssb")
+    asm.word(SLOT_ADDR, secret)  # stale (secret) contents
+
+    asm.li(R12, PROBE_BASE)
+    asm.li(R13, PROBE_STRIDE)
+    # Warm the slot so the bypassing load completes inside the window.
+    asm.li(R20, SLOT_ADDR)
+    asm.loadb(R21, R20, 0)
+    emit_probe_flush(asm, guesses)
+
+    # Compute the store address through a division chain (~30 cycles).
+    # Keep the critical sequence inside one i-cache line: a line boundary
+    # in the middle would let an i-miss serialize its dispatch.
+    asm.align(16)
+    asm.li(R16, SLOT_ADDR)
+    asm.li(R17, 3)
+    asm.mul(R18, R16, R17)
+    asm.div(R18, R18, R17)  # == SLOT_ADDR, eventually
+    asm.li(R17, 7)
+    asm.mul(R19, R18, R17)
+    asm.div(R19, R19, R17)  # == SLOT_ADDR, even later
+    asm.li(R20, PUBLIC_VALUE)
+    asm.store(R20, R19, 0)  # the store the load will bypass
+    # The malicious load (Access phase): address known immediately.
+    asm.li(R21, SLOT_ADDR)
+    asm.loadb(R10, R21, 0)  # bypasses -> reads the stale secret
+    # Transmit phase.
+    asm.mul(R21, R10, R13)
+    asm.add(R21, R21, R12)
+    asm.load(R21, R21, 0)
+    # The store resolves, the violation squash replays from the load; the
+    # replayed path transmits PUBLIC_VALUE (not timed by the recover loop).
+    asm.fence()
+    emit_cache_recover(asm, guesses)
+    asm.halt()
+    return asm.build()
+
+
+def run(
+    config: SimConfig,
+    secret: int = 42,
+    guesses: Optional[List[int]] = None,
+    in_order: bool = False,
+) -> AttackOutcome:
+    """Run the SSB attack on *config*."""
+    guesses = guesses if guesses is not None else attack_guesses(secret)
+    program = build_program(secret, guesses)
+    outcome = run_attack(program, config, in_order=in_order)
+    return AttackOutcome(
+        attack="ssb",
+        channel="cache",
+        config_label=outcome.label,
+        secret=secret,
+        timings=read_timings(outcome, guesses),
+        guesses=guesses,
+        margin_required=CACHE_LEAK_MARGIN,
+        outcome=outcome,
+    )

@@ -1,0 +1,202 @@
+"""``nda-repro`` command-line front-end.
+
+Subcommands::
+
+    nda-repro table3                 # print the simulated machine
+    nda-repro attack spectre_v1 --config permissive
+    nda-repro matrix                 # full security matrix (Tables 1/2)
+    nda-repro bench --benchmarks mcf leela --samples 2
+    nda-repro figure 4|7|8|9a|9b|9c|9d|9e
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+from repro.attacks.taxonomy import IMPLEMENTED
+from repro.config import (
+    NDAPolicyName,
+    baseline_ooo,
+    invisispec_config,
+    nda_config,
+)
+from repro.harness import (
+    render_figure4,
+    render_figure7,
+    render_figure8,
+    render_figure9a,
+    render_figure9bc,
+    render_figure9d,
+    render_figure9e,
+    render_table1,
+    render_table2,
+    render_table3,
+    run_suite,
+    table1_matrix,
+    table2,
+)
+from repro.harness.figures import figure4, figure8, figure9e
+from repro.workloads.profiles import DEFAULT_SUITE, PROFILES
+
+_CONFIGS = {
+    "ooo": lambda: (baseline_ooo(), False),
+    "permissive": lambda: (nda_config(NDAPolicyName.PERMISSIVE), False),
+    "permissive+br": lambda: (nda_config(NDAPolicyName.PERMISSIVE_BR), False),
+    "strict": lambda: (nda_config(NDAPolicyName.STRICT), False),
+    "strict+br": lambda: (nda_config(NDAPolicyName.STRICT_BR), False),
+    "restricted-loads": lambda: (
+        nda_config(NDAPolicyName.LOAD_RESTRICTION), False),
+    "full-protection": lambda: (
+        nda_config(NDAPolicyName.FULL_PROTECTION), False),
+    "invisispec-spectre": lambda: (invisispec_config(False), False),
+    "invisispec-future": lambda: (invisispec_config(True), False),
+    "in-order": lambda: (baseline_ooo(), True),
+}
+
+
+def _build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="nda-repro",
+        description="NDA (MICRO 2019) reproduction harness",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("table3", help="print the simulated machine description")
+
+    attack = sub.add_parser("attack", help="run one attack PoC")
+    attack.add_argument(
+        "name", choices=sorted({info.name for info in IMPLEMENTED})
+    )
+    attack.add_argument(
+        "--config", default="ooo", choices=sorted(_CONFIGS)
+    )
+    attack.add_argument("--secret", type=int, default=42)
+    attack.add_argument("--guesses", type=int, default=64)
+
+    matrix = sub.add_parser(
+        "matrix", help="run every attack on every configuration"
+    )
+    matrix.add_argument("--guesses", type=int, default=32)
+
+    bench = sub.add_parser("bench", help="performance sweep (Fig 7/Table 2)")
+    bench.add_argument(
+        "--benchmarks", nargs="*", default=list(DEFAULT_SUITE),
+        choices=sorted(PROFILES),
+    )
+    bench.add_argument("--samples", type=int, default=3)
+    bench.add_argument("--warmup", type=int, default=2000)
+    bench.add_argument("--measure", type=int, default=8000)
+
+    trace = sub.add_parser(
+        "trace", help="pipeline trace of a micro-kernel (ASCII chart)"
+    )
+    trace.add_argument("kernel", choices=sorted(
+        __import__("repro.workloads.kernels", fromlist=["ALL_KERNELS"])
+        .ALL_KERNELS
+    ))
+    trace.add_argument("--config", default="ooo", choices=sorted(_CONFIGS))
+    trace.add_argument("--instructions", type=int, default=60)
+    trace.add_argument("--width", type=int, default=80)
+
+    figure = sub.add_parser("figure", help="regenerate one paper figure")
+    figure.add_argument(
+        "which", choices=["4", "7", "8", "9a", "9b", "9c", "9d", "9e"]
+    )
+    figure.add_argument("--benchmarks", nargs="*", default=None)
+    figure.add_argument("--samples", type=int, default=3)
+
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    args = _build_parser().parse_args(argv)
+
+    if args.command == "table3":
+        print(render_table3())
+        return 0
+
+    if args.command == "attack":
+        info = next(i for i in IMPLEMENTED if i.name == args.name)
+        config, in_order = _CONFIGS[args.config]()
+        from repro.attacks.common import default_guesses
+        guesses = default_guesses(args.secret, args.guesses)
+        outcome = info.module.run(
+            config, secret=args.secret, guesses=guesses, in_order=in_order
+        )
+        print(outcome)
+        if hasattr(outcome, "bit_timings"):
+            print("bit timings:", outcome.bit_timings)
+        else:
+            print("timings:", dict(zip(outcome.guesses, outcome.timings)))
+        return 0 if not outcome.leaked else 1
+
+    if args.command == "matrix":
+        rows = table1_matrix(guesses=args.guesses)
+        print(render_table1(rows))
+        mismatches = [r for r in rows if r["leaked"] != r["expected"]]
+        return 1 if mismatches else 0
+
+    if args.command == "bench":
+        suite = run_suite(
+            benchmarks=args.benchmarks,
+            samples=args.samples,
+            warmup=args.warmup,
+            measure=args.measure,
+            verbose=True,
+        )
+        print(render_figure7(suite))
+        print()
+        print(render_table2(table2(suite)))
+        return 0
+
+    if args.command == "trace":
+        from repro.core.ooo import OutOfOrderCore
+        from repro.debug import PipelineTracer
+        from repro.workloads.kernels import ALL_KERNELS
+        config, in_order = _CONFIGS[args.config]()
+        if in_order:
+            print("trace requires an out-of-order configuration")
+            return 2
+        program = ALL_KERNELS[args.kernel](args.instructions)
+        core = OutOfOrderCore(program, config)
+        tracer = PipelineTracer.attach(core, limit=args.instructions * 8)
+        core.run()
+        print(tracer.render(width=args.width))
+        print()
+        print("mean complete-to-broadcast (wake-up) delay: %.1f cycles"
+              % tracer.mean_wakeup_delay())
+        return 0
+
+    if args.command == "figure":
+        return _figure(args)
+
+    return 2
+
+
+def _figure(args) -> int:
+    benchmarks = args.benchmarks or list(DEFAULT_SUITE)
+    if args.which == "4":
+        print(render_figure4(figure4()))
+        return 0
+    if args.which == "8":
+        print(render_figure8(figure8()))
+        return 0
+    if args.which == "9e":
+        print(render_figure9e(figure9e(benchmarks=benchmarks)))
+        return 0
+    suite = run_suite(benchmarks=benchmarks, samples=args.samples)
+    if args.which == "7":
+        print(render_figure7(suite))
+    elif args.which == "9a":
+        print(render_figure9a(suite))
+    elif args.which in ("9b", "9c"):
+        print(render_figure9bc(suite))
+    elif args.which == "9d":
+        print(render_figure9d(suite))
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

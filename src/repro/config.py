@@ -1,0 +1,273 @@
+"""Simulation configuration (paper Table 3).
+
+The defaults reproduce the gem5 configuration of the paper: an 8-issue
+Haswell-like out-of-order core at 2 GHz with 192 ROB entries, 32-entry load
+and store queues, a 4096-entry BTB, a 16-entry RAS, 32 kB 8-way L1 caches
+with a 4-cycle round trip and one port, a 2 MB 16-way L2 with a 40-cycle
+round trip, and 50 ns DRAM (100 cycles at 2 GHz).
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field, replace
+
+from repro.errors import ConfigError
+
+
+class ProtectionScheme(enum.Enum):
+    """Which speculation-control mechanism the core runs.
+
+    ``NDA`` covers all six rows of Table 2 (selected by ``NDAPolicyName``);
+    the InvisiSpec schemes model the comparison system; ``NONE`` is the
+    insecure baseline.
+    """
+
+    NONE = "ooo"
+    NDA = "nda"
+    INVISISPEC_SPECTRE = "invisispec-spectre"
+    INVISISPEC_FUTURE = "invisispec-future"
+
+
+class NDAPolicyName(enum.Enum):
+    """The six NDA propagation policies (Table 2 rows 1-6)."""
+
+    PERMISSIVE = "permissive"
+    PERMISSIVE_BR = "permissive+br"
+    STRICT = "strict"
+    STRICT_BR = "strict+br"
+    LOAD_RESTRICTION = "restricted-loads"
+    FULL_PROTECTION = "full-protection"
+
+
+@dataclass(frozen=True)
+class CacheConfig:
+    """One cache level."""
+
+    size_bytes: int
+    line_bytes: int
+    assoc: int
+    round_trip_cycles: int
+    ports: int = 1
+
+    @property
+    def num_sets(self) -> int:
+        return self.size_bytes // (self.line_bytes * self.assoc)
+
+    def validate(self, name: str) -> None:
+        if self.size_bytes % (self.line_bytes * self.assoc):
+            raise ConfigError(
+                "%s size %d not divisible by line*assoc" % (name, self.size_bytes)
+            )
+        if self.line_bytes & (self.line_bytes - 1):
+            raise ConfigError("%s line size must be a power of two" % name)
+        num_sets = self.num_sets
+        if num_sets & (num_sets - 1):
+            raise ConfigError("%s set count must be a power of two" % name)
+        if self.round_trip_cycles < 1:
+            raise ConfigError("%s latency must be positive" % name)
+
+
+@dataclass(frozen=True)
+class MemConfig:
+    """Cache hierarchy + DRAM timing (Table 3)."""
+
+    l1i: CacheConfig = field(
+        default_factory=lambda: CacheConfig(32 * 1024, 64, 8, 4)
+    )
+    l1d: CacheConfig = field(
+        default_factory=lambda: CacheConfig(32 * 1024, 64, 8, 4)
+    )
+    l2: CacheConfig = field(
+        default_factory=lambda: CacheConfig(2 * 1024 * 1024, 64, 16, 40)
+    )
+    dram_cycles: int = 100  # 50 ns at 2 GHz
+    mshrs: int = 16  # outstanding off-chip misses
+    # Optional data prefetcher ("none" | "nextline" | "stride").  The
+    # paper's Table 3 machine has none; prefetchers are modeled because
+    # section 2 lists them among speculation-trained structures.
+    prefetcher: str = "none"
+    prefetch_degree: int = 2
+    # Cache replacement policy ("lru" | "plru" | "random").
+    replacement: str = "lru"
+
+    def validate(self) -> None:
+        self.l1i.validate("l1i")
+        self.l1d.validate("l1d")
+        self.l2.validate("l2")
+        if self.dram_cycles < 1:
+            raise ConfigError("dram_cycles must be positive")
+        if self.mshrs < 1:
+            raise ConfigError("mshrs must be positive")
+        if self.prefetcher not in ("none", "nextline", "stride"):
+            raise ConfigError("unknown prefetcher %r" % self.prefetcher)
+        if self.prefetch_degree < 1:
+            raise ConfigError("prefetch_degree must be positive")
+        if self.replacement not in ("lru", "plru", "random"):
+            raise ConfigError("unknown replacement policy %r" % self.replacement)
+
+
+@dataclass(frozen=True)
+class CoreConfig:
+    """Out-of-order back-end resources (Table 3)."""
+
+    fetch_width: int = 8
+    issue_width: int = 8
+    commit_width: int = 8
+    rob_entries: int = 192
+    iq_entries: int = 64
+    lq_entries: int = 32
+    sq_entries: int = 32
+    phys_regs: int = 300
+    btb_entries: int = 4096
+    btb_assoc: int = 4
+    ras_entries: int = 16
+    bp_tables_bits: int = 12  # direction-predictor index width
+    # Functional units: (count, type) mirrors a Haswell-like 8-issue core.
+    num_alu: int = 4
+    num_mul: int = 1
+    num_div: int = 1
+    num_fp: int = 2
+    num_mem_ports: int = 2  # AGU/issue slots; L1D port count gates data access
+    num_branch: int = 2
+    # Cycles between branch resolution and the first redirected fetch.
+    squash_penalty: int = 3
+    # Front-end pipeline depth: cycles from fetch to rename/dispatch.
+    frontend_depth: int = 4
+    # Extra NDA broadcast-logic latency (Fig 9e sensitivity knob).
+    nda_broadcast_delay: int = 0
+    # FPU power gating (the NetSpectre covert channel, §3): after
+    # fpu_sleep_cycles without an FP issue the unit powers down, and the
+    # next FP op pays fpu_wakeup_cycles extra.  Wrong-path FP execution
+    # wakes the unit and the squash does not put it back to sleep.
+    fpu_sleep_cycles: int = 200
+    fpu_wakeup_cycles: int = 20
+    # Memory dependence predictor ("none" | "waittable").  The paper's
+    # baseline always speculatively bypasses (section 4.1), which is what
+    # Spectre v4 exploits.
+    memdep: str = "none"
+
+    def validate(self) -> None:
+        positive = [
+            ("fetch_width", self.fetch_width),
+            ("issue_width", self.issue_width),
+            ("commit_width", self.commit_width),
+            ("rob_entries", self.rob_entries),
+            ("iq_entries", self.iq_entries),
+            ("lq_entries", self.lq_entries),
+            ("sq_entries", self.sq_entries),
+            ("btb_entries", self.btb_entries),
+            ("ras_entries", self.ras_entries),
+            ("num_alu", self.num_alu),
+            ("num_fp", self.num_fp),
+            ("num_mem_ports", self.num_mem_ports),
+            ("num_branch", self.num_branch),
+        ]
+        for name, value in positive:
+            if value < 1:
+                raise ConfigError("%s must be positive (got %r)" % (name, value))
+        from repro.isa.registers import NUM_ARCH_REGS
+
+        if self.phys_regs < NUM_ARCH_REGS + self.rob_entries // 2:
+            raise ConfigError(
+                "phys_regs=%d too small for rob_entries=%d"
+                % (self.phys_regs, self.rob_entries)
+            )
+        if self.nda_broadcast_delay < 0:
+            raise ConfigError("nda_broadcast_delay cannot be negative")
+        if self.squash_penalty < 0:
+            raise ConfigError("squash_penalty cannot be negative")
+        if self.frontend_depth < 1:
+            raise ConfigError("frontend_depth must be at least 1")
+        if self.fpu_sleep_cycles < 1:
+            raise ConfigError("fpu_sleep_cycles must be positive")
+        if self.fpu_wakeup_cycles < 0:
+            raise ConfigError("fpu_wakeup_cycles cannot be negative")
+        if self.memdep not in ("none", "waittable"):
+            raise ConfigError("unknown memdep predictor %r" % self.memdep)
+
+
+@dataclass(frozen=True)
+class SimConfig:
+    """Complete machine description handed to a core."""
+
+    core: CoreConfig = field(default_factory=CoreConfig)
+    mem: MemConfig = field(default_factory=MemConfig)
+    scheme: ProtectionScheme = ProtectionScheme.NONE
+    nda_policy: NDAPolicyName = NDAPolicyName.PERMISSIVE
+    privileged_mode: bool = False
+    # Insecure-implementation flag: when True, faulting loads forward their
+    # data to dependents before the fault squashes at commit (the Meltdown
+    # flaw).  The paper's baseline OoO has this flaw; NDA does not need it
+    # fixed because load restriction makes it unexploitable.
+    forward_faulting_loads: bool = True
+
+    def validate(self) -> "SimConfig":
+        self.core.validate()
+        self.mem.validate()
+        if self.scheme is ProtectionScheme.NDA and self.nda_policy is None:
+            raise ConfigError("NDA scheme requires an nda_policy")
+        return self
+
+    def label(self) -> str:
+        """Human-readable configuration name used in reports."""
+        if self.scheme is ProtectionScheme.NONE:
+            return "OoO"
+        if self.scheme is ProtectionScheme.NDA:
+            return {
+                NDAPolicyName.PERMISSIVE: "Permissive",
+                NDAPolicyName.PERMISSIVE_BR: "Permissive+BR",
+                NDAPolicyName.STRICT: "Strict",
+                NDAPolicyName.STRICT_BR: "Strict+BR",
+                NDAPolicyName.LOAD_RESTRICTION: "Restricted Loads",
+                NDAPolicyName.FULL_PROTECTION: "Full Protection",
+            }[self.nda_policy]
+        if self.scheme is ProtectionScheme.INVISISPEC_SPECTRE:
+            return "InvisiSpec-Spectre"
+        return "InvisiSpec-Future"
+
+
+def baseline_ooo() -> SimConfig:
+    """The unconstrained (insecure) OoO baseline."""
+    return SimConfig().validate()
+
+
+def nda_config(policy: NDAPolicyName, **core_overrides) -> SimConfig:
+    """An NDA configuration with the given Table 2 policy."""
+    core = CoreConfig(**core_overrides) if core_overrides else CoreConfig()
+    return SimConfig(
+        core=core, scheme=ProtectionScheme.NDA, nda_policy=policy
+    ).validate()
+
+
+def invisispec_config(future: bool = False) -> SimConfig:
+    """An InvisiSpec comparison configuration."""
+    scheme = (
+        ProtectionScheme.INVISISPEC_FUTURE
+        if future
+        else ProtectionScheme.INVISISPEC_SPECTRE
+    )
+    return SimConfig(scheme=scheme).validate()
+
+
+def all_figure7_configs() -> "list[tuple[str, SimConfig]]":
+    """The ten (label, config) pairs evaluated in Fig. 7 of the paper.
+
+    The in-order baseline is created by the harness (it uses a different
+    core class), so this list covers the eight pipelined OoO configs plus
+    the two InvisiSpec variants; label "In-Order" is appended by callers.
+    """
+    configs = [("OoO", baseline_ooo())]
+    for policy in NDAPolicyName:
+        cfg = nda_config(policy)
+        configs.append((cfg.label(), cfg))
+    configs.append(("InvisiSpec-Spectre", invisispec_config(False)))
+    configs.append(("InvisiSpec-Future", invisispec_config(True)))
+    return configs
+
+
+def with_nda_delay(config: SimConfig, delay: int) -> SimConfig:
+    """Clone *config* with a different NDA broadcast-logic delay (Fig 9e)."""
+    return replace(
+        config, core=replace(config.core, nda_broadcast_delay=delay)
+    ).validate()

@@ -1,0 +1,27 @@
+"""Processor cores: the out-of-order pipeline and the in-order baseline."""
+
+from repro.core.fu import FUPool
+from repro.core.inorder import InOrderCore, run_inorder
+from repro.core.issue_queue import IssueQueue
+from repro.core.lsq import LSQ, LoadAction, LoadDecision
+from repro.core.ooo import OutOfOrderCore, run_program
+from repro.core.outcome import RunOutcome
+from repro.core.rename import PhysRegFile, RenameTable
+from repro.core.rob import ROB, DynInstr
+
+__all__ = [
+    "FUPool",
+    "InOrderCore",
+    "run_inorder",
+    "IssueQueue",
+    "LSQ",
+    "LoadAction",
+    "LoadDecision",
+    "OutOfOrderCore",
+    "run_program",
+    "RunOutcome",
+    "PhysRegFile",
+    "RenameTable",
+    "ROB",
+    "DynInstr",
+]

@@ -1,0 +1,89 @@
+"""Functional-unit pool.
+
+Models issue-port contention per :class:`~repro.isa.opcodes.FUType`.  ALU,
+branch, memory (AGU), MUL and FP units are pipelined — each unit accepts one
+new micro-op per cycle regardless of latency — while the divider is
+unpipelined and stays busy for the full operation.  Port contention is the
+covert channel SMoTher-Spectre exploits; modeling it per-type keeps that
+channel representable (see ``tests/test_fu.py``).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+from repro.config import CoreConfig
+from repro.isa.opcodes import FUType
+
+
+class FUPool:
+    """Tracks per-cycle issue-slot usage for every functional-unit class."""
+
+    def __init__(self, config: CoreConfig):
+        self.counts: Dict[FUType, int] = {
+            FUType.ALU: config.num_alu,
+            FUType.MUL: config.num_mul,
+            FUType.DIV: config.num_div,
+            FUType.FP: config.num_fp,
+            FUType.MEM: config.num_mem_ports,
+            FUType.BRANCH: config.num_branch,
+            FUType.SYS: 1,
+        }
+        self._used: Dict[FUType, int] = {}
+        self._used_cycle = -1
+        # Unpipelined units: cycle at which each instance frees up.
+        self._div_free: List[int] = [0] * config.num_div
+        # FPU power gating (NetSpectre channel): last FP issue time.  The
+        # unit starts asleep; wrong-path issues wake it and squash does
+        # not revert the power state.
+        self._fpu_sleep = config.fpu_sleep_cycles
+        self._fpu_wakeup = config.fpu_wakeup_cycles
+        self._fpu_last_issue = -(10 ** 9)
+
+    def _roll(self, now: int) -> None:
+        if now != self._used_cycle:
+            self._used = {fu: 0 for fu in self.counts}
+            self._used_cycle = now
+
+    def can_issue(self, fu: FUType, now: int) -> bool:
+        """True when an issue slot on *fu* is free at cycle *now*."""
+        self._roll(now)
+        if self._used[fu] >= self.counts[fu]:
+            return False
+        if fu is FUType.DIV:
+            return any(free <= now for free in self._div_free)
+        return True
+
+    def issue(self, fu: FUType, now: int, latency: int) -> int:
+        """Consume one issue slot on *fu* at cycle *now*.
+
+        Returns the extra execution latency the micro-op pays (non-zero
+        only for FP ops issued to a power-gated FPU).
+        """
+        self._roll(now)
+        self._used[fu] += 1
+        if fu is FUType.FP:
+            penalty = self.fp_wakeup_penalty(now)
+            self._fpu_last_issue = now
+            return penalty
+        if fu is FUType.DIV:
+            for i, free in enumerate(self._div_free):
+                if free <= now:
+                    self._div_free[i] = now + latency
+                    return 0
+        return 0
+
+    def fp_wakeup_penalty(self, now: int) -> int:
+        """Extra cycles the next FP op pays if the FPU is power-gated."""
+        if now - self._fpu_last_issue > self._fpu_sleep:
+            return self._fpu_wakeup
+        return 0
+
+    def fpu_awake(self, now: int) -> bool:
+        """Is the FP cluster currently powered (observable channel state)?"""
+        return now - self._fpu_last_issue <= self._fpu_sleep
+
+    def used(self, fu: FUType, now: int) -> int:
+        """Issue slots already consumed on *fu* this cycle (for stats)."""
+        self._roll(now)
+        return self._used[fu]

@@ -1,0 +1,82 @@
+"""Memory dependence prediction (a wait-table in the Alpha 21264 style).
+
+§4.1 of the paper names the memory dependence predictor among the
+structures wrong-path execution trains without rollback.  The model here is
+the simplest useful one: a load PC that suffered an ordering violation is
+remembered; future instances of that load *wait* for all older unresolved
+stores instead of speculatively bypassing them.  Entries decay after a
+fixed number of clean executions, like the 21264's periodic wait-table
+flush.
+
+Disabled by default (``CoreConfig.memdep = "none"``): the paper's baseline
+always bypasses, which is exactly what Spectre v4 needs.  With the wait
+table enabled, the SSB PoC still leaks on its *first* execution (the table
+is cold) — dependence prediction is a performance feature, not a defense,
+which is why the paper adds the Bypass Restriction instead.
+"""
+
+from __future__ import annotations
+
+from typing import Dict
+
+
+class WaitTable:
+    """PC-indexed set of loads that must not bypass unresolved stores."""
+
+    def __init__(self, entries: int = 64, decay_period: int = 2048):
+        if entries < 1:
+            raise ValueError("wait table needs at least one entry")
+        self.entries = entries
+        self.decay_period = decay_period
+        self._table: Dict[int, int] = {}  # load pc -> insertion stamp
+        self._accesses = 0
+        self.trained = 0
+        self.waits = 0
+
+    def should_wait(self, load_pc: int) -> bool:
+        """Must the load at *load_pc* wait for older stores to resolve?"""
+        self._accesses += 1
+        if self._accesses % self.decay_period == 0:
+            self._table.clear()
+        if load_pc in self._table:
+            self.waits += 1
+            return True
+        return False
+
+    def record_violation(self, load_pc: int) -> None:
+        """An ordering violation squashed the load at *load_pc*."""
+        if load_pc not in self._table and len(self._table) >= self.entries:
+            self._table.pop(next(iter(self._table)))
+        self._table[load_pc] = self._accesses
+        self.trained += 1
+
+    def __contains__(self, load_pc: int) -> bool:
+        return load_pc in self._table
+
+    def __len__(self) -> int:
+        return len(self._table)
+
+
+class AlwaysBypass:
+    """The baseline policy: loads always speculatively bypass (no predictor)."""
+
+    trained = 0
+    waits = 0
+
+    def should_wait(self, load_pc: int) -> bool:
+        return False
+
+    def record_violation(self, load_pc: int) -> None:
+        pass
+
+    def __len__(self) -> int:
+        return 0
+
+
+def make_memdep(name: str):
+    """Factory keyed by ``CoreConfig.memdep``."""
+    if name == "none":
+        return AlwaysBypass()
+    if name == "waittable":
+        return WaitTable()
+    raise ValueError("unknown memory dependence predictor %r" % name)

@@ -1,0 +1,696 @@
+"""The out-of-order core.
+
+A cycle-level model of the paper's baseline machine (Table 3): 8-issue,
+192-entry ROB, physical-register renaming, an issue queue woken by tag
+broadcast, split load/store queues with store-to-load forwarding and
+speculative store bypass, branch prediction with squash-at-resolution, and
+a non-blocking cache hierarchy.
+
+Three protection schemes plug into the same pipeline:
+
+* ``NONE`` — the insecure baseline: broadcast at completion.
+* ``NDA`` — deferred broadcast per the active Table 2 policy (the paper's
+  contribution; see :mod:`repro.nda`).
+* ``INVISISPEC_*`` — speculative loads leave the caches untouched and
+  validate/expose at their visibility point (the comparison system).
+
+Stage order within a cycle (reverse pipeline order, standard for
+cycle-level models): writeback -> deferred broadcast -> InvisiSpec
+visibility -> load memory phase -> issue -> dispatch -> fetch -> commit.
+"""
+
+from __future__ import annotations
+
+import heapq
+from collections import deque
+from typing import Deque, List, Optional, Tuple
+
+from repro.config import (
+    NDAPolicyName,
+    ProtectionScheme,
+    SimConfig,
+)
+from repro.core.fu import FUPool
+from repro.core.issue_queue import IssueQueue
+from repro.core.lsq import LSQ, LoadAction
+from repro.core.memdep import make_memdep
+from repro.core.outcome import RunOutcome
+from repro.core.rename import PhysRegFile, RenameTable
+from repro.core.rob import ROB, DynInstr
+from repro.errors import DeadlockError, SimulationError
+from repro.frontend.btb import BTB
+from repro.frontend.direction import make_direction_predictor
+from repro.frontend.fetch import FetchedOp, FetchUnit
+from repro.frontend.ras import RAS
+from repro.isa.opcodes import Opcode
+from repro.isa.program import Program
+from repro.isa.registers import NUM_ARCH_REGS, R0
+from repro.isa.semantics import MachineState, branch_taken, eval_alu
+from repro.memory.hierarchy import MemoryHierarchy
+from repro.memory.memory import MainMemory, U64_MASK
+from repro.invisispec.policy import load_is_speculative, needs_validation
+from repro.nda.broadcast import BroadcastArbiter
+from repro.nda.policy import policy_for
+from repro.nda.safety import SafetyTracker
+from repro.stats.counters import CycleClass, PipelineStats
+
+
+class OutOfOrderCore:
+    """One simulated OoO core running one program."""
+
+    def __init__(
+        self,
+        program: Program,
+        config: Optional[SimConfig] = None,
+        direction_predictor: str = "tournament",
+    ):
+        self.config = (config or SimConfig()).validate()
+        core = self.config.core
+        self.program = program
+
+        self.mem = MainMemory()
+        self.mem.load_image(program.data)
+        self.msrs = dict(program.msrs)
+        self.hierarchy = MemoryHierarchy(self.config.mem)
+
+        self.btb = BTB(core.btb_entries, core.btb_assoc)
+        self.ras = RAS(core.ras_entries)
+        self.direction = make_direction_predictor(
+            direction_predictor, core.bp_tables_bits
+        )
+        self.fetch_unit = FetchUnit(
+            program, self.hierarchy, self.direction, self.btb, self.ras,
+            core.fetch_width,
+        )
+
+        self.prf = PhysRegFile(core.phys_regs)
+        self.rat = RenameTable(self.prf)
+        for reg, value in program.initial_regs.items():
+            if reg != R0:
+                self.prf.value[reg] = value & U64_MASK
+        self.rob = ROB(core.rob_entries)
+        self.iq = IssueQueue(core.iq_entries, self.prf)
+        self.lsq = LSQ(core.lq_entries, core.sq_entries)
+        self.fus = FUPool(core)
+        self.memdep = make_memdep(core.memdep)
+
+        scheme = self.config.scheme
+        policy = None
+        if scheme is ProtectionScheme.NDA:
+            policy = policy_for(self.config.nda_policy)
+        self.policy = policy
+        self.safety = SafetyTracker(policy)
+        self.arbiter = BroadcastArbiter(
+            core.issue_width, core.nda_broadcast_delay
+        )
+        self.invisispec = scheme in (
+            ProtectionScheme.INVISISPEC_SPECTRE,
+            ProtectionScheme.INVISISPEC_FUTURE,
+        )
+        self.is_future = scheme is ProtectionScheme.INVISISPEC_FUTURE
+
+        self.cycle = 0
+        self.halted = False
+        self.committed = 0
+        self.stats = PipelineStats()
+
+        self._next_seq = 0
+        self._fetch_buffer: Deque[FetchedOp] = deque()
+        self._completions: List[Tuple[int, int, DynInstr]] = []
+        self._pending_mem: List[Tuple[int, DynInstr]] = []
+        self._is_pending: List[DynInstr] = []
+        self._fence_seq: Optional[int] = None
+        self._ports_used = 0
+        self._issued_this_cycle = 0
+        self._squashed_this_cycle = False
+        self._last_commit_cycle = 0
+        # Optional PipelineTracer (see repro.debug.trace).
+        self.tracer = None
+
+    # ================================================================== #
+    # Public driving interface.
+    # ================================================================== #
+
+    def run(
+        self,
+        max_cycles: int = 5_000_000,
+        deadlock_cycles: int = 100_000,
+    ) -> RunOutcome:
+        """Simulate until HALT (or the program runs out), then report."""
+        while not self.halted and self.cycle < max_cycles:
+            self.step()
+            if self.cycle - self._last_commit_cycle > deadlock_cycles:
+                raise DeadlockError(
+                    "no commit for %d cycles at cycle %d (head=%r)"
+                    % (deadlock_cycles, self.cycle, self.rob.head)
+                )
+        self.stats.cycles = self.cycle
+        self.stats.committed = self.committed
+        return RunOutcome(
+            state=self.arch_state(),
+            stats=self.stats,
+            label=self.config.label(),
+        )
+
+    def step(self) -> None:
+        """Advance the machine by one cycle."""
+        now = self.cycle
+        self._ports_used = 0
+        self._issued_this_cycle = 0
+        self._squashed_this_cycle = False
+
+        self._writeback(now)
+        self._drain_broadcasts(now)
+        if self.invisispec:
+            self._invisispec_visibility(now)
+        self._mem_phase(now)
+        self._issue(now)
+        self._dispatch(now)
+        self._fetch(now)
+        committed_now = self._commit(now)
+        self._account(now, committed_now)
+
+        self.cycle = now + 1
+
+    def arch_state(self) -> MachineState:
+        """Committed architectural state (valid once the ROB is empty)."""
+        regs = [
+            self.prf.value[self.rat.lookup(reg)]
+            for reg in range(NUM_ARCH_REGS)
+        ]
+        regs[R0] = 0
+        return MachineState(
+            regs=regs,
+            memory=self.mem,
+            halted=self.halted,
+            pc=self.fetch_unit.fetch_pc,
+            committed=self.committed,
+            faults=self.stats.faults,
+        )
+
+    # ================================================================== #
+    # Writeback: completions, branch resolution, violations, broadcast.
+    # ================================================================== #
+
+    def _writeback(self, now: int) -> None:
+        due: List[DynInstr] = []
+        while self._completions and self._completions[0][0] <= now:
+            _, _, entry = heapq.heappop(self._completions)
+            if not entry.squashed:
+                due.append(entry)
+        due.sort(key=lambda e: e.seq)
+        for entry in due:
+            if entry.squashed:
+                continue  # an older entry in this batch squashed it
+            self._complete(entry, now)
+
+    def _complete(self, entry: DynInstr, now: int) -> None:
+        instr = entry.instr
+        op = instr.op
+        info = instr.info
+
+        if info.is_branch:
+            self._resolve_branch(entry, now)
+        elif entry.is_store:
+            self._resolve_store(entry, now)
+        elif op is Opcode.CLFLUSH:
+            addr = (entry.src_vals[0] + instr.imm) & U64_MASK
+            self.hierarchy.flush_data_line(addr)
+        elif op is Opcode.RDTSC:
+            entry.result = now
+        elif op is Opcode.RDMSR:
+            entry.result = self.msrs.get(instr.imm, 0)
+            if not self.config.privileged_mode:
+                entry.fault = "user rdmsr %d" % instr.imm
+                if not self.config.forward_faulting_loads:
+                    entry.result = 0
+        elif entry.is_load:
+            pass  # result was set by the memory phase
+        elif op in (Opcode.NOP, Opcode.FENCE, Opcode.HALT):
+            pass
+        else:
+            a = entry.src_vals[0] if entry.src_vals else 0
+            b = entry.src_vals[1] if len(entry.src_vals) > 1 else 0
+            entry.result = eval_alu(op, a, b, instr.imm)
+
+        entry.completed = True
+        entry.complete_cycle = now
+        if entry.phys_dest is not None and entry.result is not None:
+            self.prf.write(entry.phys_dest, entry.result)
+        self._try_broadcast(entry, now)
+
+    def _try_broadcast(self, entry: DynInstr, now: int) -> None:
+        """Broadcast at completion when safe and a port is free; else defer."""
+        if entry.phys_dest is None:
+            entry.bcast = True  # nothing to broadcast
+            return
+        head = self.rob.head
+        head_seq = head.seq if head is not None else None
+        if (
+            self._ports_used < self.config.core.issue_width
+            and self.safety.is_safe(entry, head_seq)
+        ):
+            # Safe at completion: the normal wake-up path, no NDA logic
+            # latency involved (only *deferred* wake-ups pay the Fig 9e
+            # delay).
+            self._broadcast(entry, now)
+            self._ports_used += 1
+        else:
+            self.arbiter.defer(entry)
+
+    def _broadcast(self, entry: DynInstr, now: int) -> None:
+        self.prf.mark_ready(entry.phys_dest)
+        self.iq.on_broadcast(entry.phys_dest)
+        entry.bcast = True
+        entry.bcast_cycle = now
+
+    def _drain_broadcasts(self, now: int) -> None:
+        head = self.rob.head
+        head_seq = head.seq if head is not None else None
+        done = self.arbiter.drain(
+            now,
+            self._ports_used,
+            lambda e: self.safety.is_safe(e, head_seq),
+            lambda e: self._broadcast(e, now),
+        )
+        self._ports_used += done
+        self.stats.deferred_broadcasts = self.arbiter.deferred_broadcasts
+        self.stats.broadcast_port_conflicts = self.arbiter.port_conflicts
+
+    # ------------------------------------------------------------------ #
+    # Branch resolution.
+    # ------------------------------------------------------------------ #
+
+    def _resolve_branch(self, entry: DynInstr, now: int) -> None:
+        instr = entry.instr
+        op = instr.op
+        pc = entry.pc
+        vals = entry.src_vals
+
+        if instr.info.is_conditional:
+            taken = branch_taken(op, vals[0], vals[1])
+            actual = instr.target if taken else pc + 1
+            self.direction.update(pc, taken)
+        elif op is Opcode.JMP:
+            taken, actual = True, instr.target
+        elif op is Opcode.CALL:
+            taken, actual = True, instr.target
+            entry.result = pc + 1
+        elif op is Opcode.CALLR:
+            taken, actual = True, vals[0] & U64_MASK
+            entry.result = pc + 1
+            self.btb.update(pc, actual)
+        elif op is Opcode.JR:
+            taken, actual = True, vals[0] & U64_MASK
+            self.btb.update(pc, actual)
+        elif op is Opcode.RET:
+            taken, actual = True, vals[0] & U64_MASK
+        else:
+            raise SimulationError("unknown branch op %s" % op)
+
+        entry.resolved = True
+        entry.actual_taken = taken
+        entry.actual_next_pc = actual
+        self.safety.on_branch_resolved(entry)
+        self.stats.branches_resolved += 1
+
+        if entry.fetched.unpredicted:
+            # Fetch stalled behind this branch: no wrong path exists.
+            if instr.info.is_call:
+                self.ras.push(pc + 1)
+            self.fetch_unit.redirect(actual, now + 1)
+            return
+        if actual != entry.fetched.pred_next_pc:
+            entry.mispredicted = True
+            self.stats.branch_mispredicts += 1
+            self._squash_after(
+                entry.seq, actual, now + self.config.core.squash_penalty
+            )
+            self.fetch_unit.repair_ras(entry.fetched.ras_snapshot)
+
+    # ------------------------------------------------------------------ #
+    # Store resolution.
+    # ------------------------------------------------------------------ #
+
+    def _resolve_store(self, entry: DynInstr, now: int) -> None:
+        instr = entry.instr
+        entry.addr = (entry.src_vals[0] + instr.imm) & U64_MASK
+        entry.store_data = entry.src_vals[1]
+        if not self.config.privileged_mode and \
+                self.program.is_privileged_addr(entry.addr):
+            entry.fault = "user store to %#x" % entry.addr
+        self.safety.on_store_resolved(entry)
+        victim = self.lsq.check_violation(entry)
+        if victim is not None:
+            self.stats.memory_violations += 1
+            self.memdep.record_violation(victim.pc)
+            self._squash_after(
+                victim.seq - 1,
+                victim.pc,
+                now + self.config.core.squash_penalty,
+            )
+            older_branch = self.rob.nearest_older_branch(victim.seq)
+            if older_branch is not None:
+                self.fetch_unit.repair_ras(older_branch.fetched.ras_snapshot)
+
+    # ================================================================== #
+    # Squash.
+    # ================================================================== #
+
+    def _squash_after(self, seq: int, target_pc: int, refetch_cycle: int):
+        """Discard every instruction younger than *seq* and refetch."""
+        removed = self.rob.squash_younger(seq)
+        for entry in removed:  # youngest first: rollback works in order
+            if entry.phys_dest is not None:
+                self.rat.rollback(
+                    entry.instr.rd, entry.phys_dest, entry.prev_phys
+                )
+            self.safety.on_squash(entry)
+        self.iq.remove_squashed()
+        self.lsq.remove_squashed()
+        self.arbiter.remove_squashed()
+        self._is_pending = [e for e in self._is_pending if not e.squashed]
+        self._pending_mem = [
+            (c, e) for c, e in self._pending_mem if not e.squashed
+        ]
+        self._fetch_buffer.clear()
+        if self._fence_seq is not None and self._fence_seq > seq:
+            self._fence_seq = None
+        self.fetch_unit.redirect(target_pc, refetch_cycle)
+        self.stats.squashes += 1
+        self.stats.squashed_ops += len(removed)
+        self._squashed_this_cycle = True
+        if self.tracer is not None:
+            for entry in removed:
+                self.tracer.squashed(entry, self.cycle)
+
+    # ================================================================== #
+    # InvisiSpec visibility.
+    # ================================================================== #
+
+    def _load_speculative(self, entry: DynInstr) -> bool:
+        """Is this load still speculative under the InvisiSpec threat model?"""
+        return load_is_speculative(
+            entry, self.rob, self.safety, self.is_future
+        )
+
+    def _invisispec_visibility(self, now: int) -> None:
+        still_pending: List[DynInstr] = []
+        for entry in self._is_pending:
+            if entry.squashed:
+                continue  # squashed invisible loads expose nothing
+            if self._load_speculative(entry):
+                still_pending.append(entry)
+                continue
+            # Visibility point reached: validate (blocking) or expose.
+            result = self.hierarchy.expose_fill(entry.addr, now)
+            if entry.needs_validation:
+                entry.retire_ready = now + result.latency
+                self.stats.validations += 1
+            else:
+                self.stats.exposures += 1
+        self._is_pending = still_pending
+
+    # ================================================================== #
+    # Load memory phase.
+    # ================================================================== #
+
+    def _mem_phase(self, now: int) -> None:
+        ready = [
+            (c, e) for c, e in self._pending_mem if c <= now and not e.squashed
+        ]
+        self._pending_mem = [
+            (c, e) for c, e in self._pending_mem
+            if c > now and not e.squashed
+        ]
+        dcache_ports = self.config.mem.l1d.ports
+        dcache_used = 0
+        ready.sort(key=lambda item: item[1].seq)
+        for _, entry in ready:
+            decision = self.lsq.decide_load(entry)
+            if (
+                decision.action is LoadAction.MEMORY
+                and decision.bypassed_stores
+                and self.memdep.should_wait(entry.pc)
+            ):
+                # The dependence predictor vetoes the speculative bypass.
+                self._pending_mem.append((now + 1, entry))
+                continue
+            if decision.action is LoadAction.WAIT:
+                self._pending_mem.append((now + 1, entry))
+                continue
+            if decision.action is LoadAction.FORWARD:
+                entry.data_obtained = True
+                entry.forwarded_from = decision.forwarded_from
+                entry.bypassed_stores = decision.bypassed_stores or None
+                value = decision.value
+                self._finish_load(entry, value, now, latency=1)
+                continue
+            # MEMORY access: gated by the L1D port count.
+            if dcache_used >= dcache_ports:
+                self._pending_mem.append((now + 1, entry))
+                continue
+            dcache_used += 1
+            entry.data_obtained = True
+            entry.bypassed_stores = decision.bypassed_stores or None
+            invisible = self.invisispec and self._load_speculative(entry)
+            result = self.hierarchy.data_access(
+                entry.addr, now, fill=not invisible, pc=entry.pc
+            )
+            if invisible:
+                entry.invisible = True
+                entry.needs_validation = needs_validation(
+                    entry, result.l1_hit, self.lsq.loads
+                )
+                self._is_pending.append(entry)
+                self.stats.invisible_loads += 1
+            value = self._load_value(entry)
+            self._finish_load(entry, value, now, latency=result.latency)
+
+    def _load_value(self, entry: DynInstr) -> int:
+        """Architectural data for a load reading memory (possibly faulting)."""
+        addr = entry.addr
+        if not self.config.privileged_mode and \
+                self.program.is_privileged_addr(addr):
+            entry.fault = "user load from %#x" % addr
+            if not self.config.forward_faulting_loads:
+                return 0
+        if entry.mem_size == 1:
+            return self.mem.read_byte(addr)
+        return self.mem.read_word(addr)
+
+    def _finish_load(
+        self, entry: DynInstr, value: int, now: int, latency: int
+    ) -> None:
+        entry.result = value
+        heapq.heappush(
+            self._completions, (now + latency, entry.seq, entry)
+        )
+
+    # ================================================================== #
+    # Issue.
+    # ================================================================== #
+
+    def _may_issue(self, entry: DynInstr, now: int) -> bool:
+        if entry.instr.info.is_serializing:
+            return self.rob.head is entry
+        return True
+
+    def _issue(self, now: int) -> None:
+        width = self.config.core.issue_width
+        selected = self.iq.select(now, width, self.fus, self._may_issue)
+        for entry in selected:
+            entry.issued = True
+            entry.issue_cycle = now
+            entry.src_vals = tuple(
+                self.prf.value[src] for src in entry.phys_srcs
+            )
+            self.stats.issued += 1
+            self._issued_this_cycle += 1
+            instr = entry.instr
+            if entry.is_load:
+                entry.addr = (entry.src_vals[0] + instr.imm) & U64_MASK
+                self._pending_mem.append((now + 1, entry))
+            else:
+                latency = instr.info.latency + entry.issue_penalty
+                heapq.heappush(
+                    self._completions, (now + latency, entry.seq, entry)
+                )
+
+    # ================================================================== #
+    # Dispatch.
+    # ================================================================== #
+
+    def _dispatch(self, now: int) -> None:
+        core = self.config.core
+        count = 0
+        depth = core.frontend_depth
+        while self._fetch_buffer and count < core.fetch_width:
+            fetched = self._fetch_buffer[0]
+            if fetched.fetch_cycle + depth > now:
+                break
+            if self._fence_seq is not None:
+                break
+            if self.rob.full or self.iq.full:
+                break
+            instr = fetched.instr
+            rd = instr.rd
+            if rd is not None and rd != R0 and self.prf.free_count == 0:
+                break
+            entry = DynInstr(self._next_seq, fetched, now)
+            if not self.lsq.can_dispatch(entry):
+                break
+            entry.phys_srcs = tuple(self.rat.lookup(s) for s in instr.srcs)
+            if rd is not None and rd != R0:
+                renamed = self.rat.rename_dest(rd)
+                if renamed is None:
+                    break
+                entry.phys_dest, entry.prev_phys = renamed
+            if instr.op in (Opcode.LOADB, Opcode.STOREB):
+                entry.mem_size = 1
+            self._next_seq += 1
+            self._fetch_buffer.popleft()
+            self.rob.push(entry)
+            self.iq.insert(entry)
+            self.lsq.dispatch(entry)
+            self.safety.on_dispatch(entry)
+            if instr.info.is_serializing:
+                # FENCE (speculation barrier) and RDTSC (rdtscp-like
+                # measurement fence) block dispatch until they commit.
+                self._fence_seq = entry.seq
+            self.stats.dispatched += 1
+            count += 1
+
+    # ================================================================== #
+    # Fetch.
+    # ================================================================== #
+
+    def _fetch(self, now: int) -> None:
+        if len(self._fetch_buffer) >= 2 * self.config.core.fetch_width:
+            return
+        fetched = self.fetch_unit.fetch(now)
+        self._fetch_buffer.extend(fetched)
+        self.stats.fetched += len(fetched)
+
+    # ================================================================== #
+    # Commit.
+    # ================================================================== #
+
+    def _commit(self, now: int) -> int:
+        committed_now = 0
+        width = self.config.core.commit_width
+        while committed_now < width and len(self.rob):
+            head = self.rob.head
+            if not head.completed:
+                break
+            if head.retire_ready > now:
+                break
+            if head.fault is not None:
+                self._commit_fault(head, now)
+                committed_now += 1  # classification: progress happened
+                break
+            if head.phys_dest is not None and not head.bcast:
+                break  # waiting for a broadcast port
+            self._retire(head, now)
+            committed_now += 1
+            if self.halted:
+                break
+        return committed_now
+
+    def _retire(self, head: DynInstr, now: int) -> None:
+        instr = head.instr
+        op = instr.op
+        self.rob.pop_head()
+        if head.is_store:
+            self._commit_store(head)
+        if head.is_load or head.is_store:
+            self.lsq.retire(head)
+        if head.prev_phys is not None:
+            self.rat.retire(head.prev_phys)
+        if self._fence_seq == head.seq:
+            self._fence_seq = None
+        if op is Opcode.HALT:
+            self.halted = True
+            # Drop anything fetched past the halt.
+            if len(self.rob):
+                self._squash_after(head.seq, 0, now + 1)
+        self.committed += 1
+        self._last_commit_cycle = now
+        if head.issue_cycle >= 0:
+            self.stats.record_dispatch_to_issue(
+                head.issue_cycle - head.dispatch_cycle
+            )
+        if self.tracer is not None:
+            self.tracer.retired(head, now)
+
+    def _commit_store(self, head: DynInstr) -> None:
+        if head.mem_size == 1:
+            self.mem.write_byte(head.addr, head.store_data)
+        else:
+            self.mem.write_word(head.addr, head.store_data)
+        # Write-allocate into the hierarchy (no latency: write buffer).
+        self.hierarchy.l1d.fill(head.addr)
+        self.hierarchy.l2.fill(head.addr)
+
+    def _commit_fault(self, head: DynInstr, now: int) -> None:
+        """The eldest instruction faulted: squash and redirect."""
+        self.stats.faults += 1
+        handler = self.program.fault_handler
+        self._squash_after(
+            head.seq - 1,
+            handler if handler is not None else 0,
+            now + self.config.core.squash_penalty,
+        )
+        # The faulting instruction architecturally commits as a fault
+        # delivery (mirrors ReferenceMachine.step counting).
+        self.committed += 1
+        self._last_commit_cycle = now
+        if handler is None:
+            self.halted = True
+
+    # ================================================================== #
+    # Accounting.
+    # ================================================================== #
+
+    def _account(self, now: int, committed_now: int) -> None:
+        stats = self.stats
+        if self._issued_this_cycle:
+            stats.ilp_sum += self._issued_this_cycle
+            stats.ilp_cycles += 1
+        outstanding = self.hierarchy.outstanding_offchip(now)
+        if outstanding:
+            stats.mlp_sum += outstanding
+            stats.mlp_cycles += 1
+
+        if committed_now:
+            stats.classify_cycle(CycleClass.COMMIT)
+        elif self._squashed_this_cycle or not len(self.rob):
+            stats.classify_cycle(CycleClass.FRONTEND_STALL)
+        else:
+            head = self.rob.head
+            if head.is_load or head.is_store:
+                stats.classify_cycle(CycleClass.MEMORY_STALL)
+            else:
+                stats.classify_cycle(CycleClass.BACKEND_STALL)
+
+        # Program naturally drained?
+        if (
+            not self.halted
+            and not len(self.rob)
+            and not self._fetch_buffer
+            and self.program.fetch(self.fetch_unit.fetch_pc) is None
+        ):
+            self.halted = True
+
+
+def run_program(
+    program: Program,
+    config: Optional[SimConfig] = None,
+    max_cycles: int = 5_000_000,
+    direction_predictor: str = "tournament",
+) -> RunOutcome:
+    """Build a core for *program* under *config* and run it to completion."""
+    core = OutOfOrderCore(
+        program, config, direction_predictor=direction_predictor
+    )
+    return core.run(max_cycles=max_cycles)

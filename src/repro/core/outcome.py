@@ -1,0 +1,32 @@
+"""Result type returned by every core's ``run`` method."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.isa.semantics import MachineState
+from repro.stats.counters import PipelineStats
+
+
+@dataclass
+class RunOutcome:
+    """Final architectural state plus the pipeline statistics of one run."""
+
+    state: MachineState
+    stats: PipelineStats
+    label: str
+
+    @property
+    def cpi(self) -> float:
+        return self.stats.cpi
+
+    def reg(self, index: int) -> int:
+        return self.state.regs[index]
+
+    def __repr__(self) -> str:
+        return "<RunOutcome %s: %d instrs, %d cycles, CPI %.3f>" % (
+            self.label,
+            self.stats.committed,
+            self.stats.cycles,
+            self.stats.cpi,
+        )

@@ -1,0 +1,158 @@
+"""Reorder buffer and dynamic instruction records.
+
+Each :class:`DynInstr` carries the three NDA status bits the paper adds to
+ROB entries — ``unsafe`` (tracked implicitly through the safety logic),
+``exec`` (here ``completed``) and ``bcast`` — plus the timestamps the
+statistics module needs (dispatch/issue/complete/broadcast cycles).
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Deque, Iterator, Optional, Set
+
+from repro.frontend.fetch import FetchedOp
+from repro.isa.instruction import Instr
+
+
+class DynInstr:
+    """One in-flight dynamic micro-op (a ROB entry)."""
+
+    __slots__ = (
+        "seq", "instr", "pc", "fetched",
+        "phys_dest", "prev_phys", "phys_srcs",
+        "issued", "completed", "bcast", "squashed", "issue_penalty",
+        "dispatch_cycle", "issue_cycle", "complete_cycle", "bcast_cycle",
+        "safe_cycle",
+        "result", "src_vals",
+        "resolved", "actual_next_pc", "actual_taken", "mispredicted",
+        "addr", "mem_size", "store_data", "bypassed_stores",
+        "forwarded_from", "data_obtained",
+        "invisible", "needs_validation", "retire_ready",
+        "fault",
+    )
+
+    def __init__(self, seq: int, fetched: FetchedOp, dispatch_cycle: int):
+        self.seq = seq
+        self.instr: Instr = fetched.instr
+        self.pc: int = fetched.pc
+        self.fetched = fetched
+        self.phys_dest: Optional[int] = None
+        self.prev_phys: Optional[int] = None
+        self.phys_srcs: tuple = ()
+        self.issued = False
+        self.issue_penalty = 0  # extra latency charged at issue (FPU wake)
+        self.completed = False
+        self.bcast = False
+        self.squashed = False
+        self.dispatch_cycle = dispatch_cycle
+        self.issue_cycle = -1
+        self.complete_cycle = -1
+        self.bcast_cycle = -1
+        # Cycle at which the NDA safety condition was first satisfied; -1
+        # while still unsafe.  Used to model extra broadcast-logic latency.
+        self.safe_cycle = -1
+        self.result: Optional[int] = None
+        self.src_vals: tuple = ()  # source values captured at issue
+        # Branch resolution.
+        self.resolved = False
+        self.actual_next_pc: Optional[int] = None
+        self.actual_taken = False
+        self.mispredicted = False
+        # Memory.
+        self.addr: Optional[int] = None
+        self.mem_size = 8
+        self.store_data: Optional[int] = None
+        self.bypassed_stores: Optional[Set[int]] = None
+        self.forwarded_from: Optional[int] = None
+        self.data_obtained = False  # load has selected its data source
+        self.invisible = False  # InvisiSpec: accessed without filling caches
+        self.needs_validation = False
+        self.retire_ready = 0  # earliest commit cycle (InvisiSpec validation)
+        self.fault: Optional[str] = None
+
+    # Convenience properties used throughout the pipeline. ------------- #
+
+    @property
+    def is_branch(self) -> bool:
+        return self.instr.info.is_branch
+
+    @property
+    def is_load(self) -> bool:
+        return self.instr.info.is_load
+
+    @property
+    def is_store(self) -> bool:
+        return self.instr.info.is_store
+
+    @property
+    def is_load_like(self) -> bool:
+        return self.instr.info.is_load_like
+
+    @property
+    def unresolved_branch(self) -> bool:
+        return self.is_branch and not self.resolved
+
+    @property
+    def unresolved_store(self) -> bool:
+        return self.is_store and self.addr is None
+
+    def __repr__(self) -> str:
+        flags = "".join(
+            ch for ch, cond in (
+                ("I", self.issued), ("C", self.completed),
+                ("B", self.bcast), ("X", self.squashed),
+            ) if cond
+        )
+        return "<#%d %r %s>" % (self.seq, self.instr, flags or "-")
+
+
+class ROB:
+    """In-order window of in-flight instructions."""
+
+    def __init__(self, capacity: int):
+        self.capacity = capacity
+        self.entries: Deque[DynInstr] = deque()
+
+    def __len__(self) -> int:
+        return len(self.entries)
+
+    def __iter__(self) -> Iterator[DynInstr]:
+        return iter(self.entries)
+
+    @property
+    def full(self) -> bool:
+        return len(self.entries) >= self.capacity
+
+    @property
+    def head(self) -> Optional[DynInstr]:
+        return self.entries[0] if self.entries else None
+
+    def push(self, entry: DynInstr) -> None:
+        self.entries.append(entry)
+
+    def pop_head(self) -> DynInstr:
+        return self.entries.popleft()
+
+    def squash_younger(self, seq: int) -> "list[DynInstr]":
+        """Remove every entry with ``seq > seq`` (youngest first).
+
+        Returns the removed entries in removal (youngest-first) order so the
+        caller can walk the rename rollback correctly.
+        """
+        removed = []
+        while self.entries and self.entries[-1].seq > seq:
+            entry = self.entries.pop()
+            entry.squashed = True
+            removed.append(entry)
+        return removed
+
+    def nearest_older_branch(self, seq: int) -> Optional[DynInstr]:
+        """Youngest branch entry older than *seq* (for RAS repair)."""
+        best = None
+        for entry in self.entries:
+            if entry.seq >= seq:
+                break
+            if entry.is_branch:
+                best = entry
+        return best

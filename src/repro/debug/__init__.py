@@ -1,0 +1,5 @@
+"""Debugging tools: pipeline tracing."""
+
+from repro.debug.trace import PipelineTracer, TraceRecord
+
+__all__ = ["PipelineTracer", "TraceRecord"]

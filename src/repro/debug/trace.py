@@ -1,0 +1,146 @@
+"""Pipeline tracing: per-instruction lifecycle records and ASCII charts.
+
+Attach a :class:`PipelineTracer` to an out-of-order core and every retired
+or squashed dynamic instruction is recorded with its fetch / dispatch /
+issue / complete / broadcast / retire cycles — the raw material for
+debugging scheduler behaviour and for *seeing* NDA's deferred wake-ups:
+
+    core = OutOfOrderCore(program, config)
+    tracer = PipelineTracer.attach(core, limit=200)
+    core.run()
+    print(tracer.render())
+
+In the chart, each instruction is one row; NDA shows up as a widening gap
+between ``C`` (complete) and ``B`` (broadcast).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional
+
+from repro.core.ooo import OutOfOrderCore
+from repro.core.rob import DynInstr
+
+
+@dataclass
+class TraceRecord:
+    """Lifecycle of one dynamic instruction."""
+
+    seq: int
+    pc: int
+    disasm: str
+    fetch: int
+    dispatch: int
+    issue: int
+    complete: int
+    broadcast: int
+    retire: int
+    squashed: bool
+
+    @property
+    def wakeup_delay(self) -> int:
+        """Cycles the result sat completed-but-unbroadcast (NDA's deferral)."""
+        if self.broadcast < 0 or self.complete < 0:
+            return 0
+        return self.broadcast - self.complete
+
+
+class PipelineTracer:
+    """Collects TraceRecords from a core via its retire/squash hooks."""
+
+    def __init__(self, limit: int = 1_000, include_squashed: bool = True):
+        self.limit = limit
+        self.include_squashed = include_squashed
+        self.records: List[TraceRecord] = []
+
+    @classmethod
+    def attach(
+        cls, core: OutOfOrderCore, limit: int = 1_000,
+        include_squashed: bool = True,
+    ) -> "PipelineTracer":
+        tracer = cls(limit=limit, include_squashed=include_squashed)
+        core.tracer = tracer
+        return tracer
+
+    # Hooks called by the core. ----------------------------------------- #
+
+    def retired(self, entry: DynInstr, now: int) -> None:
+        self._record(entry, now, squashed=False)
+
+    def squashed(self, entry: DynInstr, now: int) -> None:
+        if self.include_squashed:
+            self._record(entry, now, squashed=True)
+
+    def _record(self, entry: DynInstr, now: int, squashed: bool) -> None:
+        if len(self.records) >= self.limit:
+            return
+        self.records.append(TraceRecord(
+            seq=entry.seq,
+            pc=entry.pc,
+            disasm=repr(entry.instr),
+            fetch=entry.fetched.fetch_cycle,
+            dispatch=entry.dispatch_cycle,
+            issue=entry.issue_cycle,
+            complete=entry.complete_cycle,
+            broadcast=entry.bcast_cycle,
+            retire=now if not squashed else -1,
+            squashed=squashed,
+        ))
+
+    # Reporting. --------------------------------------------------------- #
+
+    def mean_wakeup_delay(self) -> float:
+        """Average complete-to-broadcast gap over retired instructions."""
+        delays = [
+            r.wakeup_delay for r in self.records
+            if not r.squashed and r.broadcast >= 0
+        ]
+        return sum(delays) / len(delays) if delays else 0.0
+
+    def render(self, width: int = 64) -> str:
+        """ASCII pipeline chart: one row per instruction.
+
+        Stage letters: F fetch, D dispatch, I issue, C complete,
+        B broadcast, R retire; ``x`` marks squashed instructions,
+        ``=`` fills complete-to-broadcast deferral.
+        """
+        if not self.records:
+            return "(no trace records)"
+        start = min(r.fetch for r in self.records if r.fetch >= 0)
+        lines = ["cycle offset from %d; one column per cycle" % start]
+        for record in self.records:
+            events = [
+                ("F", record.fetch), ("D", record.dispatch),
+                ("I", record.issue), ("C", record.complete),
+                ("B", record.broadcast), ("R", record.retire),
+            ]
+            chart = {}
+            for letter, cycle in events:
+                if cycle is None or cycle < 0:
+                    continue
+                offset = cycle - start
+                if 0 <= offset < width:
+                    chart[offset] = letter
+            if record.complete >= 0 and record.broadcast > record.complete:
+                for offset in range(record.complete - start + 1,
+                                    min(record.broadcast - start, width)):
+                    chart.setdefault(offset, "=")
+            row = "".join(chart.get(i, ".") for i in range(width))
+            marker = "x" if record.squashed else " "
+            lines.append(
+                "%5d%s |%s| %s" % (record.seq, marker, row, record.disasm)
+            )
+        return "\n".join(lines)
+
+    def to_tsv(self) -> str:
+        """Machine-readable dump (one line per instruction)."""
+        lines = ["seq\tpc\tfetch\tdispatch\tissue\tcomplete\tbroadcast"
+                 "\tretire\tsquashed\tdisasm"]
+        for r in self.records:
+            lines.append(
+                "%d\t%d\t%d\t%d\t%d\t%d\t%d\t%d\t%d\t%s"
+                % (r.seq, r.pc, r.fetch, r.dispatch, r.issue, r.complete,
+                   r.broadcast, r.retire, int(r.squashed), r.disasm)
+            )
+        return "\n".join(lines)

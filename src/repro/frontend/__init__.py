@@ -1,0 +1,29 @@
+"""Front-end: branch prediction structures and the fetch unit."""
+
+from repro.frontend.btb import BTB
+from repro.frontend.direction import (
+    AlwaysNotTaken,
+    AlwaysTaken,
+    Bimodal,
+    DirectionPredictor,
+    GShare,
+    Tournament,
+    make_direction_predictor,
+)
+from repro.frontend.fetch import INSTR_BYTES, FetchedOp, FetchUnit
+from repro.frontend.ras import RAS
+
+__all__ = [
+    "BTB",
+    "AlwaysNotTaken",
+    "AlwaysTaken",
+    "Bimodal",
+    "DirectionPredictor",
+    "GShare",
+    "Tournament",
+    "make_direction_predictor",
+    "INSTR_BYTES",
+    "FetchedOp",
+    "FetchUnit",
+    "RAS",
+]

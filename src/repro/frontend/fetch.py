@@ -1,0 +1,204 @@
+"""Fetch unit: follows the predicted path through the static program.
+
+The fetch unit is where wrong-path execution *begins*: it follows whatever
+the direction predictor / BTB / RAS say, and the back-end discovers
+mispredictions only at branch execution.  Instruction PCs are instruction
+indices; the instruction cache is addressed at ``pc * INSTR_BYTES``.
+
+Timing model: L1I hits are fully pipelined (no stall); an L1I miss stalls
+fetch until the fill returns.  An indirect branch with no BTB/RAS prediction
+stalls fetch at the branch until the back-end resolves it (the paper's §4.1
+dispatch-stall argument for phantom branches applies the same way).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional
+
+from repro.frontend.btb import BTB
+from repro.frontend.direction import DirectionPredictor
+from repro.frontend.ras import RAS
+from repro.isa.instruction import Instr
+from repro.isa.opcodes import Opcode
+from repro.isa.program import Program
+from repro.memory.hierarchy import MemoryHierarchy
+
+INSTR_BYTES = 4
+
+
+@dataclass
+class FetchedOp:
+    """One fetched micro-op plus its front-end prediction metadata."""
+
+    instr: Instr
+    pc: int
+    fetch_cycle: int
+    pred_next_pc: int  # where fetch went after this instruction
+    pred_taken: bool = False  # conditional branches only
+    ras_snapshot: Optional[tuple] = None  # branches only (for repair)
+    btb_hit: bool = False
+    # True when fetch had no prediction for an indirect branch and stalled
+    # behind it: there is no wrong path to squash, only a redirect.
+    unpredicted: bool = False
+
+
+class FetchUnit:
+    """Prediction-directed fetch."""
+
+    def __init__(
+        self,
+        program: Program,
+        hierarchy: MemoryHierarchy,
+        direction: DirectionPredictor,
+        btb: BTB,
+        ras: RAS,
+        fetch_width: int = 8,
+    ):
+        self.program = program
+        self.hierarchy = hierarchy
+        self.direction = direction
+        self.btb = btb
+        self.ras = ras
+        self.fetch_width = fetch_width
+        self.fetch_pc = 0
+        self._icache_ready = 0
+        self._current_line = -1
+        self._wait_for_resolve = False
+        self._halt_seen = False
+        self.fetched_ops = 0
+        self.icache_stall_cycles = 0
+        self.indirect_stall_cycles = 0
+
+    # ------------------------------------------------------------------ #
+
+    def stalled(self, now: int) -> bool:
+        """True when no instruction can be fetched this cycle."""
+        if self._halt_seen:
+            return True
+        if self._wait_for_resolve:
+            self.indirect_stall_cycles += 1
+            return True
+        if now < self._icache_ready:
+            self.icache_stall_cycles += 1
+            return True
+        return False
+
+    def fetch(self, now: int) -> List[FetchedOp]:
+        """Fetch up to ``fetch_width`` micro-ops along the predicted path."""
+        if self.stalled(now):
+            return []
+        out: List[FetchedOp] = []
+        while len(out) < self.fetch_width:
+            instr = self.program.fetch(self.fetch_pc)
+            if instr is None:
+                break
+            if not self._line_available(self.fetch_pc, now):
+                break  # L1I miss: retry once the fill returns
+            fetched = self._predict(instr, now)
+            out.append(fetched)
+            self.fetched_ops += 1
+            self.fetch_pc = fetched.pred_next_pc
+            if instr.op is Opcode.HALT:
+                self._halt_seen = True
+                break  # nothing meaningful follows a halt
+            if self._wait_for_resolve:
+                break  # unpredicted indirect target
+            if instr.info.is_branch and fetched.pred_next_pc != fetched.pc + 1:
+                break  # taken prediction ends the fetch group
+        return out
+
+    def _line_available(self, pc: int, now: int) -> bool:
+        line = (pc * INSTR_BYTES) >> 6
+        if line == self._current_line:
+            return True
+        result = self.hierarchy.inst_access(pc * INSTR_BYTES, now)
+        self._current_line = line
+        if result.l1_hit:
+            return True
+        self._icache_ready = now + result.latency
+        return False
+
+    # ------------------------------------------------------------------ #
+
+    def _predict(self, instr: Instr, now: int) -> FetchedOp:
+        pc = instr.pc
+        op = instr.op
+        if not instr.info.is_branch:
+            return FetchedOp(instr, pc, now, pc + 1)
+
+        if instr.info.is_conditional:
+            taken = self.direction.predict(pc)
+            next_pc = instr.target if taken else pc + 1
+            return FetchedOp(
+                instr, pc, now, next_pc, pred_taken=taken,
+                ras_snapshot=self.ras.snapshot(),
+            )
+        if op is Opcode.JMP:
+            return FetchedOp(
+                instr, pc, now, instr.target,
+                ras_snapshot=self.ras.snapshot(),
+            )
+        if op is Opcode.CALL:
+            self.ras.push(pc + 1)
+            return FetchedOp(
+                instr, pc, now, instr.target, pred_taken=True,
+                ras_snapshot=self.ras.snapshot(),
+            )
+        if op is Opcode.CALLR:
+            predicted = self.btb.lookup(pc)
+            if predicted is None:
+                self._wait_for_resolve = True
+                return FetchedOp(
+                    instr, pc, now, pc + 1,
+                    ras_snapshot=self.ras.snapshot(), unpredicted=True,
+                )
+            self.ras.push(pc + 1)
+            return FetchedOp(
+                instr, pc, now, predicted, pred_taken=True,
+                ras_snapshot=self.ras.snapshot(), btb_hit=True,
+            )
+        if op is Opcode.JR:
+            predicted = self.btb.lookup(pc)
+            if predicted is None:
+                self._wait_for_resolve = True
+                return FetchedOp(
+                    instr, pc, now, pc + 1,
+                    ras_snapshot=self.ras.snapshot(), unpredicted=True,
+                )
+            return FetchedOp(
+                instr, pc, now, predicted, pred_taken=True,
+                ras_snapshot=self.ras.snapshot(), btb_hit=True,
+            )
+        if op is Opcode.RET:
+            predicted = self.ras.pop()
+            if predicted is None:
+                predicted = self.btb.lookup(pc)
+            if predicted is None:
+                self._wait_for_resolve = True
+                return FetchedOp(
+                    instr, pc, now, pc + 1,
+                    ras_snapshot=self.ras.snapshot(), unpredicted=True,
+                )
+            return FetchedOp(
+                instr, pc, now, predicted, pred_taken=True,
+                ras_snapshot=self.ras.snapshot(),
+            )
+        raise AssertionError("unhandled branch opcode %s" % op)
+
+    # ------------------------------------------------------------------ #
+
+    def redirect(self, target: int, ready_cycle: int) -> None:
+        """Steer fetch to *target*; no instruction fetches before
+        *ready_cycle* (squash penalty / front-end refill)."""
+        self.fetch_pc = target
+        # A squash cancels any in-flight wrong-path instruction fetch.
+        self._icache_ready = ready_cycle
+        self._wait_for_resolve = False
+        self._halt_seen = False
+        self._current_line = -1
+
+    def repair_ras(self, snapshot) -> None:
+        """Restore the RAS to the snapshot captured at a squashed branch."""
+        if snapshot is not None:
+            self.ras.restore(snapshot)

@@ -1,0 +1,199 @@
+"""Suite runner: one sweep powers every performance figure and table.
+
+Runs every (benchmark, configuration) pair with SMARTS-style sampling and
+keeps the per-window counters, so Fig. 7 (CPI), Fig. 9a (breakdown),
+Fig. 9b/9c (MLP/ILP), Fig. 9d (wake-up latency) and Table 2 (overheads)
+are all views over a single :class:`SuiteResult`.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.config import SimConfig, all_figure7_configs, baseline_ooo
+from repro.stats.sampling import SampledRun, smarts_sample
+from repro.workloads.generator import spec_program
+from repro.workloads.profiles import DEFAULT_SUITE
+
+IN_ORDER_LABEL = "In-Order"
+BASELINE_LABEL = "OoO"
+
+# (label, config, runs_on_inorder_core)
+ConfigSpec = Tuple[str, SimConfig, bool]
+
+
+def figure7_config_specs() -> List[ConfigSpec]:
+    """The ten configurations of Fig. 7, in the paper's legend order."""
+    specs: List[ConfigSpec] = []
+    for label, config in all_figure7_configs():
+        specs.append((label, config, False))
+    # Insert In-Order after the NDA policies, as in the paper's legend.
+    specs.insert(7, (IN_ORDER_LABEL, baseline_ooo(), True))
+    return specs
+
+
+@dataclass
+class SuiteResult:
+    """All sampled runs of one sweep."""
+
+    benchmarks: List[str]
+    labels: List[str]
+    runs: Dict[Tuple[str, str], SampledRun] = field(default_factory=dict)
+
+    def run(self, benchmark: str, label: str) -> SampledRun:
+        return self.runs[(benchmark, label)]
+
+    # -------------------------------------------------------------- #
+    # CPI views.
+    # -------------------------------------------------------------- #
+
+    def normalized_cpi(self, benchmark: str, label: str) -> float:
+        """CPI normalized to the insecure OoO baseline (Fig. 7 x-axis)."""
+        baseline = self.run(benchmark, BASELINE_LABEL).mean_cpi
+        return self.run(benchmark, label).mean_cpi / baseline
+
+    def normalized_ci(self, benchmark: str, label: str) -> float:
+        baseline = self.run(benchmark, BASELINE_LABEL).mean_cpi
+        return self.run(benchmark, label).ci95 / baseline
+
+    def mean_normalized_cpi(self, label: str) -> float:
+        """Arithmetic mean over benchmarks of normalized CPI."""
+        values = [
+            self.normalized_cpi(bench, label) for bench in self.benchmarks
+        ]
+        return sum(values) / len(values)
+
+    def overhead_pct(self, label: str) -> float:
+        """Average slowdown vs. the OoO baseline, in percent (Table 2)."""
+        return (self.mean_normalized_cpi(label) - 1.0) * 100.0
+
+    def speedup_over_inorder(self, label: str) -> float:
+        """How many times faster than In-Order this config runs."""
+        inorder = self.mean_normalized_cpi(IN_ORDER_LABEL)
+        return inorder / self.mean_normalized_cpi(label)
+
+    def gap_closed_pct(self, label: str) -> float:
+        """Fraction of the In-Order <-> OoO gap recovered (paper abstract)."""
+        inorder = self.mean_normalized_cpi(IN_ORDER_LABEL)
+        mine = self.mean_normalized_cpi(label)
+        if inorder <= 1.0:
+            return 100.0
+        return (inorder - mine) / (inorder - 1.0) * 100.0
+
+    # -------------------------------------------------------------- #
+    # Aggregated counter views (Fig. 9).
+    # -------------------------------------------------------------- #
+
+    def breakdown(self, label: str) -> Dict[str, float]:
+        """Cycle-class shares across the suite, normalized to OoO cycles.
+
+        Each benchmark is normalized to *its own* baseline cycle count
+        before averaging (as in the paper's Fig. 9a bars), so memory-bound
+        benchmarks with huge absolute cycle counts do not swamp the mix.
+        """
+        sums: Dict[str, float] = {}
+        for bench in self.benchmarks:
+            base_cycles = self.run(bench, BASELINE_LABEL).aggregate().cycles
+            aggregate = self.run(bench, label).aggregate()
+            for name, count in aggregate.cycle_class.items():
+                sums[name] = sums.get(name, 0.0) + count / base_cycles
+        count = len(self.benchmarks)
+        return {name: value / count for name, value in sums.items()}
+
+    def geomean_metric(self, label: str, metric: str) -> float:
+        """Geometric mean over benchmarks of a PipelineStats property."""
+        product = 1.0
+        count = 0
+        for bench in self.benchmarks:
+            value = getattr(self.run(bench, label).aggregate(), metric)
+            if value > 0:
+                product *= value
+                count += 1
+        return product ** (1.0 / count) if count else 0.0
+
+    def mean_metric(self, label: str, metric: str) -> float:
+        values = [
+            getattr(self.run(bench, label).aggregate(), metric)
+            for bench in self.benchmarks
+        ]
+        return sum(values) / len(values)
+
+    # -------------------------------------------------------------- #
+    # Persistence.
+    # -------------------------------------------------------------- #
+
+    def summary(self) -> dict:
+        """Headline numbers per configuration, JSON-serializable."""
+        out = {}
+        for label in self.labels:
+            out[label] = {
+                "mean_normalized_cpi": self.mean_normalized_cpi(label),
+                "overhead_pct": self.overhead_pct(label),
+                "gap_closed_pct": self.gap_closed_pct(label),
+                "speedup_vs_inorder": self.speedup_over_inorder(label),
+                "mlp": self.geomean_metric(label, "mlp"),
+                "ilp": self.geomean_metric(label, "ilp"),
+                "dispatch_to_issue": self.mean_metric(
+                    label, "mean_dispatch_to_issue"
+                ),
+            }
+        return out
+
+    def save_summary(self, path) -> None:
+        """Write the per-config summary (plus per-benchmark CPI) as JSON."""
+        import json
+
+        payload = {
+            "benchmarks": self.benchmarks,
+            "labels": self.labels,
+            "summary": self.summary(),
+            "normalized_cpi": {
+                bench: {
+                    label: self.normalized_cpi(bench, label)
+                    for label in self.labels
+                }
+                for bench in self.benchmarks
+            },
+        }
+        with open(path, "w") as handle:
+            json.dump(payload, handle, indent=2, sort_keys=True)
+
+
+def run_suite(
+    benchmarks: Sequence[str] = DEFAULT_SUITE,
+    configs: Optional[Sequence[ConfigSpec]] = None,
+    samples: int = 3,
+    warmup: int = 2_000,
+    measure: int = 8_000,
+    instructions: int = 14_000,
+    seed0: int = 0,
+    verbose: bool = False,
+) -> SuiteResult:
+    """Run the full sweep and return every sampled run."""
+    specs = list(configs) if configs is not None else figure7_config_specs()
+    result = SuiteResult(
+        benchmarks=list(benchmarks),
+        labels=[label for label, _, _ in specs],
+    )
+    for bench in benchmarks:
+        for label, config, in_order in specs:
+            run = smarts_sample(
+                lambda seed, b=bench: spec_program(b, instructions, seed),
+                config,
+                label=label,
+                benchmark=bench,
+                samples=samples,
+                warmup=warmup,
+                measure=measure,
+                in_order=in_order,
+                seed0=seed0,
+            )
+            result.runs[(bench, label)] = run
+            if verbose:
+                print(
+                    "  %-12s %-20s CPI %.3f +/- %.3f"
+                    % (bench, label, run.mean_cpi, run.ci95)
+                )
+    return result

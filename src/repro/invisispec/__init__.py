@@ -1,0 +1,5 @@
+"""InvisiSpec comparison model: invisible speculative loads."""
+
+from repro.invisispec.policy import load_is_speculative, needs_validation
+
+__all__ = ["load_is_speculative", "needs_validation"]

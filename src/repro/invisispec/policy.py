@@ -1,0 +1,52 @@
+"""InvisiSpec visibility policies (the comparison system of §6).
+
+InvisiSpec (Yan et al., MICRO'18) lets speculative loads execute into a
+per-load speculative buffer without modifying the cache hierarchy; when a
+load reaches its *visibility point* it either re-issues the access to fill
+the caches (an **exposure**, off the critical path) or must re-validate the
+value before retiring (a **validation**, blocking retirement).
+
+Two variants differ in when a load stops being speculative:
+
+* **InvisiSpec-Spectre**: a load is speculative while any older branch is
+  unresolved (the Spectre threat model).
+* **InvisiSpec-Future**: a load is speculative until it cannot be squashed
+  at all — approximated here as "every older instruction has completed and
+  cannot fault" (the Futuristic threat model).
+
+Simplified validation rule (documented in DESIGN.md): a speculative load
+validates when its invisible access missed the L1 or when an older load
+was still outstanding at issue time (the TSO-ordering case); otherwise it
+exposes.
+"""
+
+from __future__ import annotations
+
+from repro.core.rob import ROB, DynInstr
+from repro.nda.safety import SafetyTracker
+
+
+def load_is_speculative(
+    entry: DynInstr,
+    rob: ROB,
+    safety: SafetyTracker,
+    future_model: bool,
+) -> bool:
+    """Is this load still speculative under the chosen threat model?"""
+    if future_model:
+        for older in rob:
+            if older.seq >= entry.seq:
+                return False
+            if not older.completed or older.fault is not None:
+                return True
+        return False
+    return safety.guarded_by_branch(entry)
+
+
+def needs_validation(entry: DynInstr, l1_hit: bool, lsq_loads) -> bool:
+    """Must this invisible load validate (blocking) at visibility?"""
+    if not l1_hit:
+        return True
+    return any(
+        load.seq < entry.seq and not load.completed for load in lsq_loads
+    )

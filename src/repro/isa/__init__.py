@@ -1,0 +1,31 @@
+"""Micro-op ISA: registers, opcodes, instructions, programs, semantics."""
+
+from repro.isa.assembler import Assembler, assemble
+from repro.isa.instruction import Instr
+from repro.isa.opcodes import FUType, Opcode, OpInfo, info
+from repro.isa.program import Program
+from repro.isa.semantics import (
+    Fault,
+    MachineState,
+    ReferenceMachine,
+    branch_taken,
+    eval_alu,
+    run_reference,
+)
+
+__all__ = [
+    "Assembler",
+    "assemble",
+    "Instr",
+    "FUType",
+    "Opcode",
+    "OpInfo",
+    "info",
+    "Program",
+    "Fault",
+    "MachineState",
+    "ReferenceMachine",
+    "branch_taken",
+    "eval_alu",
+    "run_reference",
+]

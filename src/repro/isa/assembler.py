@@ -1,0 +1,295 @@
+"""A tiny assembler DSL for hand-written micro-op programs.
+
+The attack proof-of-concepts and the example scripts build programs through
+this class rather than instantiating :class:`~repro.isa.instruction.Instr`
+directly, which keeps them readable::
+
+    a = Assembler("demo")
+    a.li(R1, 10)
+    a.label("loop")
+    a.addi(R2, R2, 1)
+    a.subi(R1, R1, 1)
+    a.bne(R1, R0, "loop")
+    a.halt()
+    program = a.build()
+
+Labels may be referenced before they are defined; ``build`` resolves all
+forward references and raises :class:`~repro.errors.AssemblyError` for any
+that remain dangling.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Optional, Tuple, Union
+
+from repro.errors import AssemblyError
+from repro.isa.instruction import Instr
+from repro.isa.opcodes import Opcode
+from repro.isa.program import Program
+from repro.isa.registers import R0
+
+Target = Union[str, int]
+
+
+class Assembler:
+    """Incrementally builds a :class:`~repro.isa.program.Program`."""
+
+    def __init__(self, name: str = "program"):
+        self.name = name
+        self._instrs: List[Tuple[Instr, Optional[Target]]] = []
+        self._labels: Dict[str, int] = {}
+        self._data: Dict[int, bytes] = {}
+        self._privileged: List[Tuple[int, int]] = []
+        self._msrs: Dict[int, int] = {}
+        self._fault_handler: Optional[Target] = None
+        self._initial_regs: Dict[int, int] = {}
+
+    # ------------------------------------------------------------------ #
+    # Layout directives.
+    # ------------------------------------------------------------------ #
+
+    def label(self, name: str) -> "Assembler":
+        """Define *name* at the current PC."""
+        if name in self._labels:
+            raise AssemblyError("duplicate label %r" % name)
+        self._labels[name] = len(self._instrs)
+        return self
+
+    @property
+    def here(self) -> int:
+        """PC of the next instruction to be emitted."""
+        return len(self._instrs)
+
+    def data(self, addr: int, payload: bytes) -> "Assembler":
+        """Place *payload* at byte address *addr* in the initial image."""
+        self._data[addr] = bytes(payload)
+        return self
+
+    def word(self, addr: int, value: int) -> "Assembler":
+        """Place one little-endian 64-bit *value* at *addr*."""
+        return self.data(addr, (value & (2 ** 64 - 1)).to_bytes(8, "little"))
+
+    def privileged_range(self, lo: int, hi: int) -> "Assembler":
+        """Mark bytes ``[lo, hi)`` as privileged (user access faults)."""
+        if hi <= lo:
+            raise AssemblyError("empty privileged range [%d, %d)" % (lo, hi))
+        self._privileged.append((lo, hi))
+        return self
+
+    def msr(self, index: int, value: int) -> "Assembler":
+        """Set the initial contents of MSR *index*."""
+        self._msrs[index] = value
+        return self
+
+    def fault_handler(self, target: Target) -> "Assembler":
+        """Route committed faults to *target* instead of halting."""
+        self._fault_handler = target
+        return self
+
+    def init_reg(self, reg: int, value: int) -> "Assembler":
+        """Install *value* in architectural register *reg* before cycle 0."""
+        self._initial_regs[reg] = value
+        return self
+
+    # ------------------------------------------------------------------ #
+    # Instruction emitters.
+    # ------------------------------------------------------------------ #
+
+    def emit(self, instr: Instr, target: Optional[Target] = None) -> int:
+        """Append *instr*; return its PC.  *target* is resolved at build."""
+        self._instrs.append((instr, target))
+        return len(self._instrs) - 1
+
+    def _alu(self, op: Opcode, rd: int, rs1: int, rs2: int) -> int:
+        return self.emit(Instr(op, rd=rd, rs1=rs1, rs2=rs2))
+
+    def _alui(self, op: Opcode, rd: int, rs1: int, imm: int) -> int:
+        return self.emit(Instr(op, rd=rd, rs1=rs1, imm=imm))
+
+    def add(self, rd, rs1, rs2):
+        return self._alu(Opcode.ADD, rd, rs1, rs2)
+
+    def sub(self, rd, rs1, rs2):
+        return self._alu(Opcode.SUB, rd, rs1, rs2)
+
+    def and_(self, rd, rs1, rs2):
+        return self._alu(Opcode.AND, rd, rs1, rs2)
+
+    def or_(self, rd, rs1, rs2):
+        return self._alu(Opcode.OR, rd, rs1, rs2)
+
+    def xor(self, rd, rs1, rs2):
+        return self._alu(Opcode.XOR, rd, rs1, rs2)
+
+    def shl(self, rd, rs1, rs2):
+        return self._alu(Opcode.SHL, rd, rs1, rs2)
+
+    def shr(self, rd, rs1, rs2):
+        return self._alu(Opcode.SHR, rd, rs1, rs2)
+
+    def slt(self, rd, rs1, rs2):
+        return self._alu(Opcode.SLT, rd, rs1, rs2)
+
+    def mul(self, rd, rs1, rs2):
+        return self._alu(Opcode.MUL, rd, rs1, rs2)
+
+    def div(self, rd, rs1, rs2):
+        return self._alu(Opcode.DIV, rd, rs1, rs2)
+
+    def fadd(self, rd, rs1, rs2):
+        return self._alu(Opcode.FADD, rd, rs1, rs2)
+
+    def fmul(self, rd, rs1, rs2):
+        return self._alu(Opcode.FMUL, rd, rs1, rs2)
+
+    def fdiv(self, rd, rs1, rs2):
+        return self._alu(Opcode.FDIV, rd, rs1, rs2)
+
+    def addi(self, rd, rs1, imm):
+        return self._alui(Opcode.ADDI, rd, rs1, imm)
+
+    def subi(self, rd, rs1, imm):
+        return self._alui(Opcode.ADDI, rd, rs1, -imm)
+
+    def andi(self, rd, rs1, imm):
+        return self._alui(Opcode.ANDI, rd, rs1, imm)
+
+    def ori(self, rd, rs1, imm):
+        return self._alui(Opcode.ORI, rd, rs1, imm)
+
+    def xori(self, rd, rs1, imm):
+        return self._alui(Opcode.XORI, rd, rs1, imm)
+
+    def shli(self, rd, rs1, imm):
+        return self._alui(Opcode.SHLI, rd, rs1, imm)
+
+    def shri(self, rd, rs1, imm):
+        return self._alui(Opcode.SHRI, rd, rs1, imm)
+
+    def li(self, rd, imm):
+        return self.emit(Instr(Opcode.LI, rd=rd, imm=imm))
+
+    def mov(self, rd, rs):
+        return self._alui(Opcode.ADDI, rd, rs, 0)
+
+    def load(self, rd, rs1, imm=0):
+        return self.emit(Instr(Opcode.LOAD, rd=rd, rs1=rs1, imm=imm))
+
+    def loadb(self, rd, rs1, imm=0):
+        return self.emit(Instr(Opcode.LOADB, rd=rd, rs1=rs1, imm=imm))
+
+    def store(self, rs2, rs1, imm=0):
+        """``mem[rs1 + imm] = rs2`` (note the value-first operand order)."""
+        return self.emit(Instr(Opcode.STORE, rs1=rs1, rs2=rs2, imm=imm))
+
+    def storeb(self, rs2, rs1, imm=0):
+        return self.emit(Instr(Opcode.STOREB, rs1=rs1, rs2=rs2, imm=imm))
+
+    def clflush(self, rs1, imm=0):
+        return self.emit(Instr(Opcode.CLFLUSH, rs1=rs1, imm=imm))
+
+    def _branch(self, op: Opcode, rs1, rs2, target: Target) -> int:
+        return self.emit(Instr(op, rs1=rs1, rs2=rs2, target=0), target)
+
+    def beq(self, rs1, rs2, target: Target):
+        return self._branch(Opcode.BEQ, rs1, rs2, target)
+
+    def bne(self, rs1, rs2, target: Target):
+        return self._branch(Opcode.BNE, rs1, rs2, target)
+
+    def blt(self, rs1, rs2, target: Target):
+        return self._branch(Opcode.BLT, rs1, rs2, target)
+
+    def bge(self, rs1, rs2, target: Target):
+        return self._branch(Opcode.BGE, rs1, rs2, target)
+
+    def jmp(self, target: Target):
+        return self.emit(Instr(Opcode.JMP, target=0), target)
+
+    def jr(self, rs1):
+        return self.emit(Instr(Opcode.JR, rs1=rs1))
+
+    def call(self, target: Target):
+        return self.emit(Instr(Opcode.CALL, target=0), target)
+
+    def callr(self, rs1):
+        return self.emit(Instr(Opcode.CALLR, rs1=rs1))
+
+    def ret(self):
+        return self.emit(Instr(Opcode.RET))
+
+    def rdtsc(self, rd):
+        return self.emit(Instr(Opcode.RDTSC, rd=rd))
+
+    def rdmsr(self, rd, msr_index: int):
+        return self.emit(Instr(Opcode.RDMSR, rd=rd, imm=msr_index))
+
+    def fence(self):
+        return self.emit(Instr(Opcode.FENCE))
+
+    def nop(self):
+        return self.emit(Instr(Opcode.NOP))
+
+    def nops(self, count: int):
+        for _ in range(count):
+            self.nop()
+        return self
+
+    def align(self, instrs: int = 16):
+        """Pad with NOPs so the next instruction starts a new group.
+
+        With 4-byte instructions and 64-byte cache lines, ``align(16)``
+        puts the following code at an instruction-cache line boundary —
+        attack PoCs use it to keep a critical sequence within one line so
+        an i-cache miss cannot split its dispatch.
+        """
+        while len(self._instrs) % instrs:
+            self.nop()
+        return self
+
+    def halt(self):
+        return self.emit(Instr(Opcode.HALT))
+
+    # ------------------------------------------------------------------ #
+    # Linking.
+    # ------------------------------------------------------------------ #
+
+    def _resolve(self, target: Target) -> int:
+        if isinstance(target, int):
+            return target
+        try:
+            return self._labels[target]
+        except KeyError:
+            raise AssemblyError("undefined label %r" % target) from None
+
+    def build(self, name: Optional[str] = None) -> Program:
+        """Resolve labels and produce an immutable Program."""
+        instrs = []
+        for instr, target in self._instrs:
+            if target is not None:
+                instr.target = self._resolve(target)
+            instrs.append(instr)
+        handler = None
+        if self._fault_handler is not None:
+            handler = self._resolve(self._fault_handler)
+        return Program(
+            instrs,
+            data=self._data,
+            privileged=self._privileged,
+            msrs=self._msrs,
+            fault_handler=handler,
+            initial_regs=self._initial_regs,
+            name=name or self.name,
+        )
+
+
+def assemble(lines: Iterable[Instr], name: str = "program") -> Program:
+    """Convenience wrapper: build a Program from raw Instr objects."""
+    asm = Assembler(name)
+    for instr in lines:
+        asm.emit(instr)
+    return asm.build()
+
+
+# Re-export R0 so attack modules importing the assembler get the common case.
+__all__ = ["Assembler", "assemble", "R0"]

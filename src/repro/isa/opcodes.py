@@ -1,0 +1,202 @@
+"""Micro-op opcodes and their static properties.
+
+The simulator operates at micro-op granularity, mirroring how the paper
+reasons about NDA ("any micro-op dispatched after an unresolved branch...").
+Each opcode carries the static metadata every pipeline stage needs: which
+functional-unit class executes it, its execution latency, and the boolean
+attributes (is it a load-like op? a branch? serializing?) that drive both the
+baseline scheduler and the NDA safety logic.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+
+class FUType(enum.Enum):
+    """Functional-unit classes, used by the issue stage for port binding."""
+
+    ALU = "alu"
+    MUL = "mul"
+    DIV = "div"
+    FP = "fp"
+    MEM = "mem"  # address generation + cache port (loads, stores, clflush)
+    BRANCH = "branch"
+    SYS = "sys"  # serializing system ops (rdtsc, fence, halt)
+
+
+@dataclass(frozen=True)
+class OpInfo:
+    """Static properties of one opcode."""
+
+    name: str
+    fu: FUType
+    latency: int  # execution latency in cycles, excluding cache time
+    is_load: bool = False  # reads memory
+    is_store: bool = False  # writes memory
+    is_branch: bool = False  # may redirect control flow
+    is_indirect: bool = False  # branch target comes from a register
+    is_conditional: bool = False  # branch direction depends on operands
+    is_call: bool = False
+    is_ret: bool = False
+    is_load_like: bool = False  # treated as a load by NDA (loads, RDMSR)
+    is_serializing: bool = False  # issues only when eldest in the ROB
+    writes_dest: bool = True
+
+
+class Opcode(enum.Enum):
+    """Every micro-op the simulated machine understands."""
+
+    # Integer ALU (reg-reg and reg-imm forms).
+    ADD = "add"
+    SUB = "sub"
+    AND = "and"
+    OR = "or"
+    XOR = "xor"
+    SHL = "shl"
+    SHR = "shr"
+    SLT = "slt"
+    ADDI = "addi"
+    ANDI = "andi"
+    ORI = "ori"
+    XORI = "xori"
+    SHLI = "shli"
+    SHRI = "shri"
+    LI = "li"
+    # Long-latency integer.
+    MUL = "mul"
+    DIV = "div"
+    # Floating point (operates on 64-bit patterns; see semantics module).
+    FADD = "fadd"
+    FMUL = "fmul"
+    FDIV = "fdiv"
+    # Memory.
+    LOAD = "load"
+    LOADB = "loadb"
+    STORE = "store"
+    STOREB = "storeb"
+    CLFLUSH = "clflush"
+    # Control.
+    BEQ = "beq"
+    BNE = "bne"
+    BLT = "blt"
+    BGE = "bge"
+    JMP = "jmp"
+    JR = "jr"
+    CALL = "call"
+    CALLR = "callr"
+    RET = "ret"
+    # System.
+    RDTSC = "rdtsc"
+    RDMSR = "rdmsr"
+    FENCE = "fence"
+    NOP = "nop"
+    HALT = "halt"
+
+
+_ALU = dict(fu=FUType.ALU, latency=1)
+
+OP_INFO: dict[Opcode, OpInfo] = {
+    Opcode.ADD: OpInfo("add", **_ALU),
+    Opcode.SUB: OpInfo("sub", **_ALU),
+    Opcode.AND: OpInfo("and", **_ALU),
+    Opcode.OR: OpInfo("or", **_ALU),
+    Opcode.XOR: OpInfo("xor", **_ALU),
+    Opcode.SHL: OpInfo("shl", **_ALU),
+    Opcode.SHR: OpInfo("shr", **_ALU),
+    Opcode.SLT: OpInfo("slt", **_ALU),
+    Opcode.ADDI: OpInfo("addi", **_ALU),
+    Opcode.ANDI: OpInfo("andi", **_ALU),
+    Opcode.ORI: OpInfo("ori", **_ALU),
+    Opcode.XORI: OpInfo("xori", **_ALU),
+    Opcode.SHLI: OpInfo("shli", **_ALU),
+    Opcode.SHRI: OpInfo("shri", **_ALU),
+    Opcode.LI: OpInfo("li", **_ALU),
+    Opcode.MUL: OpInfo("mul", fu=FUType.MUL, latency=3),
+    Opcode.DIV: OpInfo("div", fu=FUType.DIV, latency=12),
+    Opcode.FADD: OpInfo("fadd", fu=FUType.FP, latency=4),
+    Opcode.FMUL: OpInfo("fmul", fu=FUType.FP, latency=5),
+    Opcode.FDIV: OpInfo("fdiv", fu=FUType.FP, latency=14),
+    Opcode.LOAD: OpInfo(
+        "load", fu=FUType.MEM, latency=1, is_load=True, is_load_like=True
+    ),
+    Opcode.LOADB: OpInfo(
+        "loadb", fu=FUType.MEM, latency=1, is_load=True, is_load_like=True
+    ),
+    Opcode.STORE: OpInfo(
+        "store", fu=FUType.MEM, latency=1, is_store=True, writes_dest=False
+    ),
+    Opcode.STOREB: OpInfo(
+        "storeb", fu=FUType.MEM, latency=1, is_store=True, writes_dest=False
+    ),
+    Opcode.CLFLUSH: OpInfo(
+        "clflush", fu=FUType.MEM, latency=1, writes_dest=False
+    ),
+    Opcode.BEQ: OpInfo(
+        "beq", fu=FUType.BRANCH, latency=1, is_branch=True,
+        is_conditional=True, writes_dest=False,
+    ),
+    Opcode.BNE: OpInfo(
+        "bne", fu=FUType.BRANCH, latency=1, is_branch=True,
+        is_conditional=True, writes_dest=False,
+    ),
+    Opcode.BLT: OpInfo(
+        "blt", fu=FUType.BRANCH, latency=1, is_branch=True,
+        is_conditional=True, writes_dest=False,
+    ),
+    Opcode.BGE: OpInfo(
+        "bge", fu=FUType.BRANCH, latency=1, is_branch=True,
+        is_conditional=True, writes_dest=False,
+    ),
+    Opcode.JMP: OpInfo(
+        "jmp", fu=FUType.BRANCH, latency=1, is_branch=True, writes_dest=False
+    ),
+    Opcode.JR: OpInfo(
+        "jr", fu=FUType.BRANCH, latency=1, is_branch=True, is_indirect=True,
+        writes_dest=False,
+    ),
+    Opcode.CALL: OpInfo(
+        "call", fu=FUType.BRANCH, latency=1, is_branch=True, is_call=True
+    ),
+    Opcode.CALLR: OpInfo(
+        "callr", fu=FUType.BRANCH, latency=1, is_branch=True,
+        is_indirect=True, is_call=True,
+    ),
+    Opcode.RET: OpInfo(
+        "ret", fu=FUType.BRANCH, latency=1, is_branch=True, is_indirect=True,
+        is_ret=True, writes_dest=False,
+    ),
+    Opcode.RDTSC: OpInfo(
+        "rdtsc", fu=FUType.SYS, latency=1, is_serializing=True
+    ),
+    Opcode.RDMSR: OpInfo(
+        "rdmsr", fu=FUType.SYS, latency=2, is_load_like=True
+    ),
+    Opcode.FENCE: OpInfo(
+        "fence", fu=FUType.SYS, latency=1, is_serializing=True,
+        writes_dest=False,
+    ),
+    Opcode.NOP: OpInfo("nop", fu=FUType.ALU, latency=1, writes_dest=False),
+    Opcode.HALT: OpInfo(
+        "halt", fu=FUType.SYS, latency=1, is_serializing=True,
+        writes_dest=False,
+    ),
+}
+
+# Opcode groups used by the workload generator and the tests.
+ALU_OPS = (
+    Opcode.ADD, Opcode.SUB, Opcode.AND, Opcode.OR, Opcode.XOR,
+    Opcode.SHL, Opcode.SHR, Opcode.SLT,
+)
+ALU_IMM_OPS = (
+    Opcode.ADDI, Opcode.ANDI, Opcode.ORI, Opcode.XORI,
+    Opcode.SHLI, Opcode.SHRI,
+)
+FP_OPS = (Opcode.FADD, Opcode.FMUL, Opcode.FDIV)
+COND_BRANCH_OPS = (Opcode.BEQ, Opcode.BNE, Opcode.BLT, Opcode.BGE)
+
+
+def info(op: Opcode) -> OpInfo:
+    """Return the static :class:`OpInfo` record for *op*."""
+    return OP_INFO[op]

@@ -1,0 +1,99 @@
+"""Programs: ordered static instructions plus an initial machine image.
+
+A :class:`Program` bundles everything a core needs to run a workload:
+
+* the static instruction stream (PC = instruction index),
+* an initial data-memory image,
+* the privileged address ranges (accesses from user mode fault — this is
+  the substrate the Meltdown-style chosen-code attacks exercise),
+* model-specific register (MSR) contents, readable only in privileged mode
+  (the LazyFP / Meltdown-v3a substrate),
+* an optional fault-handler PC, entered when a faulting instruction commits.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+
+from repro.errors import AssemblyError
+from repro.isa.instruction import Instr
+
+
+class Program:
+    """An immutable, fully linked program.
+
+    Args:
+        instrs: static instructions in program order.  Branch targets must
+            already be resolved to instruction indices.
+        data: initial data memory image, mapping byte address -> bytes.
+        privileged: iterable of half-open byte ranges ``(lo, hi)`` that may
+            only be accessed in privileged mode.
+        msrs: initial model-specific register file.
+        fault_handler: PC the core redirects to when a fault commits; when
+            ``None``, a committing fault halts the program.
+        initial_regs: architectural register values installed before cycle 0.
+        name: label used in reports.
+    """
+
+    def __init__(
+        self,
+        instrs: Sequence[Instr],
+        data: Optional[Dict[int, bytes]] = None,
+        privileged: Iterable[Tuple[int, int]] = (),
+        msrs: Optional[Dict[int, int]] = None,
+        fault_handler: Optional[int] = None,
+        initial_regs: Optional[Dict[int, int]] = None,
+        name: str = "program",
+    ):
+        if not instrs:
+            raise AssemblyError("a program needs at least one instruction")
+        self.instrs: List[Instr] = list(instrs)
+        for pc, instr in enumerate(self.instrs):
+            instr.pc = pc
+        self.data = dict(data or {})
+        self.privileged = tuple(privileged)
+        self.msrs = dict(msrs or {})
+        self.fault_handler = fault_handler
+        self.initial_regs = dict(initial_regs or {})
+        self.name = name
+        self._check_targets()
+
+    def _check_targets(self) -> None:
+        n = len(self.instrs)
+        for instr in self.instrs:
+            if instr.target is not None:
+                if not isinstance(instr.target, int):
+                    raise AssemblyError(
+                        "unresolved target %r in %r" % (instr.target, instr)
+                    )
+                if not 0 <= instr.target < n:
+                    raise AssemblyError(
+                        "target %d out of range in %r" % (instr.target, instr)
+                    )
+        if self.fault_handler is not None and not (
+            0 <= self.fault_handler < n
+        ):
+            raise AssemblyError(
+                "fault handler %d out of range" % self.fault_handler
+            )
+
+    def __len__(self) -> int:
+        return len(self.instrs)
+
+    def fetch(self, pc: int) -> Optional[Instr]:
+        """Return the instruction at *pc*, or None when pc is off the end."""
+        if 0 <= pc < len(self.instrs):
+            return self.instrs[pc]
+        return None
+
+    def is_privileged_addr(self, addr: int) -> bool:
+        """True when byte *addr* lies in a privileged range."""
+        for lo, hi in self.privileged:
+            if lo <= addr < hi:
+                return True
+        return False
+
+    def __repr__(self) -> str:
+        return "<Program %s: %d instrs, %d data blobs>" % (
+            self.name, len(self.instrs), len(self.data),
+        )

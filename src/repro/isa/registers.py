@@ -1,0 +1,73 @@
+"""Architectural register namespace for the micro-op ISA.
+
+The simulated machine has a single unified architectural register file of
+:data:`NUM_ARCH_REGS` registers.  Registers are plain integers (indices into
+the file) so that the hot simulation loops never pay attribute-lookup costs;
+this module provides the symbolic names used by hand-written programs and by
+the assembler.
+
+Conventions (RISC-like):
+
+* ``R0`` is hard-wired to zero.  Writes to it are discarded.
+* ``R30`` (alias ``LR``) is the link register written by ``CALL``/``CALLR``
+  and read by ``RET``.
+* ``R31`` (alias ``SP``) is used as a stack pointer by generated workloads.
+* ``F0``–``F7`` are "floating point" registers: they hold 64-bit patterns
+  like every other register but are conventionally the operands of the FP
+  micro-ops, which execute on the FP functional units.
+"""
+
+from __future__ import annotations
+
+NUM_INT_REGS = 32
+NUM_FP_REGS = 8
+NUM_ARCH_REGS = NUM_INT_REGS + NUM_FP_REGS
+
+# Integer registers.
+R0 = 0
+R1, R2, R3, R4, R5, R6, R7 = 1, 2, 3, 4, 5, 6, 7
+R8, R9, R10, R11, R12, R13, R14, R15 = 8, 9, 10, 11, 12, 13, 14, 15
+R16, R17, R18, R19, R20, R21, R22, R23 = 16, 17, 18, 19, 20, 21, 22, 23
+R24, R25, R26, R27, R28, R29, R30, R31 = 24, 25, 26, 27, 28, 29, 30, 31
+
+ZERO = R0
+LR = R30
+SP = R31
+
+# Floating point registers occupy the tail of the unified file.
+F0 = NUM_INT_REGS + 0
+F1 = NUM_INT_REGS + 1
+F2 = NUM_INT_REGS + 2
+F3 = NUM_INT_REGS + 3
+F4 = NUM_INT_REGS + 4
+F5 = NUM_INT_REGS + 5
+F6 = NUM_INT_REGS + 6
+F7 = NUM_INT_REGS + 7
+
+_NAMES = {}
+for _i in range(NUM_INT_REGS):
+    _NAMES[_i] = "r%d" % _i
+for _i in range(NUM_FP_REGS):
+    _NAMES[NUM_INT_REGS + _i] = "f%d" % _i
+_NAMES[LR] = "lr"
+_NAMES[SP] = "sp"
+
+
+def reg_name(reg: int) -> str:
+    """Return the canonical assembly name of architectural register *reg*."""
+    try:
+        return _NAMES[reg]
+    except KeyError:
+        raise ValueError("not an architectural register: %r" % (reg,)) from None
+
+
+def is_arch_reg(reg: int) -> bool:
+    """True when *reg* is a valid architectural register index."""
+    return isinstance(reg, int) and 0 <= reg < NUM_ARCH_REGS
+
+
+ALL_REGS = tuple(range(NUM_ARCH_REGS))
+INT_REGS = tuple(range(NUM_INT_REGS))
+FP_REGS = tuple(range(NUM_INT_REGS, NUM_ARCH_REGS))
+# Registers the synthetic workload generator may freely clobber.
+SCRATCH_REGS = tuple(range(1, 28))

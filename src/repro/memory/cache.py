@@ -1,0 +1,151 @@
+"""Set-associative tag-array cache.
+
+Data values always come from :class:`~repro.memory.memory.MainMemory` (plus
+LSQ forwarding inside the core); the caches model *timing* and the covert-
+channel state — which lines are resident and in what replacement order.
+Crucially for the paper, speculative fills are **not** reverted on squash:
+a wrong-path access that calls :meth:`Cache.access` leaves its line behind,
+which is exactly the property Spectre-style transmit phases exploit.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Tuple
+
+from repro.config import CacheConfig
+from repro.memory.replacement import ReplacementPolicy, make_policy
+
+
+class CacheStats:
+    """Hit/miss accounting for one cache."""
+
+    __slots__ = ("hits", "misses", "fills", "invalidations")
+
+    def __init__(self) -> None:
+        self.hits = 0
+        self.misses = 0
+        self.fills = 0
+        self.invalidations = 0
+
+    @property
+    def accesses(self) -> int:
+        return self.hits + self.misses
+
+    @property
+    def miss_rate(self) -> float:
+        total = self.accesses
+        return self.misses / total if total else 0.0
+
+
+class Cache:
+    """One level of set-associative cache (tags only).
+
+    Args:
+        config: geometry and latency.
+        name: label for stats/debugging.
+        policy: replacement policy name (``lru`` by default).
+    """
+
+    def __init__(self, config: CacheConfig, name: str, policy: str = "lru"):
+        self.config = config
+        self.name = name
+        self.num_sets = config.num_sets
+        self.assoc = config.assoc
+        self._line_shift = config.line_bytes.bit_length() - 1
+        self._set_mask = self.num_sets - 1
+        # Per set: way -> tag; tags stored both directions for O(1) lookup.
+        self._tags: List[Dict[int, int]] = [dict() for _ in range(self.num_sets)]
+        self._ways: List[Dict[int, int]] = [dict() for _ in range(self.num_sets)]
+        self._repl: List[ReplacementPolicy] = [
+            make_policy(policy, self.assoc, seed=i) for i in range(self.num_sets)
+        ]
+        self.stats = CacheStats()
+
+    # ------------------------------------------------------------------ #
+
+    def line_addr(self, addr: int) -> int:
+        return addr >> self._line_shift
+
+    def _index(self, line: int) -> int:
+        return line & self._set_mask
+
+    def _tag(self, line: int) -> int:
+        return line >> (self._set_mask.bit_length())
+
+    # ------------------------------------------------------------------ #
+
+    def probe(self, addr: int) -> bool:
+        """Non-destructive presence check (no stats, no LRU update)."""
+        line = self.line_addr(addr)
+        return self._tag(line) in self._ways[self._index(line)]
+
+    def access(self, addr: int, fill: bool = True) -> bool:
+        """Look up *addr*; returns True on hit.
+
+        On a hit the replacement state is updated.  On a miss, when *fill*
+        is True the line is installed (evicting a victim if the set is
+        full).  InvisiSpec's speculative loads pass ``fill=False`` so the
+        d-cache is left untouched.
+        """
+        line = self.line_addr(addr)
+        index = self._index(line)
+        tag = self._tag(line)
+        ways = self._ways[index]
+        way = ways.get(tag)
+        if way is not None:
+            self.stats.hits += 1
+            self._repl[index].touch(way)
+            return True
+        self.stats.misses += 1
+        if fill:
+            self._fill(index, tag)
+        return False
+
+    def _fill(self, index: int, tag: int) -> None:
+        ways = self._ways[index]
+        tags = self._tags[index]
+        if len(ways) < self.assoc:
+            way = next(w for w in range(self.assoc) if w not in tags)
+        else:
+            way = self._repl[index].victim()
+            old_tag = tags.pop(way)
+            del ways[old_tag]
+        ways[tag] = way
+        tags[way] = tag
+        self._repl[index].touch(way)
+        self.stats.fills += 1
+
+    def fill(self, addr: int) -> None:
+        """Install the line holding *addr* (used by delayed exposures)."""
+        line = self.line_addr(addr)
+        index = self._index(line)
+        tag = self._tag(line)
+        if tag not in self._ways[index]:
+            self._fill(index, tag)
+        else:
+            self._repl[index].touch(self._ways[index][tag])
+
+    def invalidate(self, addr: int) -> bool:
+        """Remove the line holding *addr* (CLFLUSH). True if it was present."""
+        line = self.line_addr(addr)
+        index = self._index(line)
+        tag = self._tag(line)
+        ways = self._ways[index]
+        way = ways.pop(tag, None)
+        if way is None:
+            return False
+        del self._tags[index][way]
+        self._repl[index].forget(way)
+        self.stats.invalidations += 1
+        return True
+
+    def flush_all(self) -> None:
+        """Empty the entire cache."""
+        for index in range(self.num_sets):
+            self._ways[index].clear()
+            self._tags[index].clear()
+            self._repl[index] = make_policy("lru", self.assoc, seed=index)
+
+    def resident_lines(self) -> int:
+        """Total number of valid lines (for tests)."""
+        return sum(len(ways) for ways in self._ways)

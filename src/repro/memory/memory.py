@@ -1,0 +1,113 @@
+"""Flat byte-addressable main memory with privilege tagging.
+
+The store is sparse (page dict -> bytearray) so programs may scatter probe
+arrays, victim buffers, and kernel data across a 64-bit address space without
+allocating it all.  Privilege is a property of the *program* address map
+(:meth:`repro.isa.program.Program.is_privileged_addr`); this module only
+moves bytes.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, Tuple
+
+PAGE_SHIFT = 12
+PAGE_SIZE = 1 << PAGE_SHIFT
+PAGE_MASK = PAGE_SIZE - 1
+WORD_BYTES = 8
+U64_MASK = (1 << 64) - 1
+
+
+class MainMemory:
+    """Sparse simulated DRAM.
+
+    Reads of untouched bytes return zero, mirroring zero-fill-on-demand.
+    """
+
+    def __init__(self) -> None:
+        self._pages: Dict[int, bytearray] = {}
+
+    def _page(self, addr: int) -> bytearray:
+        page_id = addr >> PAGE_SHIFT
+        page = self._pages.get(page_id)
+        if page is None:
+            page = bytearray(PAGE_SIZE)
+            self._pages[page_id] = page
+        return page
+
+    # ------------------------------------------------------------------ #
+    # Byte-granularity interface.
+    # ------------------------------------------------------------------ #
+
+    def read_byte(self, addr: int) -> int:
+        addr &= U64_MASK
+        page = self._pages.get(addr >> PAGE_SHIFT)
+        if page is None:
+            return 0
+        return page[addr & PAGE_MASK]
+
+    def write_byte(self, addr: int, value: int) -> None:
+        addr &= U64_MASK
+        self._page(addr)[addr & PAGE_MASK] = value & 0xFF
+
+    # ------------------------------------------------------------------ #
+    # Word (64-bit) interface.  Words may straddle page boundaries.
+    # ------------------------------------------------------------------ #
+
+    def read_word(self, addr: int) -> int:
+        addr &= U64_MASK
+        offset = addr & PAGE_MASK
+        if offset <= PAGE_SIZE - WORD_BYTES:
+            page = self._pages.get(addr >> PAGE_SHIFT)
+            if page is None:
+                return 0
+            return int.from_bytes(page[offset:offset + WORD_BYTES], "little")
+        return int.from_bytes(
+            bytes(self.read_byte(addr + i) for i in range(WORD_BYTES)),
+            "little",
+        )
+
+    def write_word(self, addr: int, value: int) -> None:
+        addr &= U64_MASK
+        value &= U64_MASK
+        offset = addr & PAGE_MASK
+        if offset <= PAGE_SIZE - WORD_BYTES:
+            page = self._page(addr)
+            page[offset:offset + WORD_BYTES] = value.to_bytes(8, "little")
+            return
+        for i, byte in enumerate(value.to_bytes(8, "little")):
+            self.write_byte(addr + i, byte)
+
+    # ------------------------------------------------------------------ #
+    # Bulk helpers.
+    # ------------------------------------------------------------------ #
+
+    def write_block(self, addr: int, payload: bytes) -> None:
+        for i, byte in enumerate(payload):
+            self.write_byte(addr + i, byte)
+
+    def read_block(self, addr: int, length: int) -> bytes:
+        return bytes(self.read_byte(addr + i) for i in range(length))
+
+    def load_image(self, image: Dict[int, bytes]) -> None:
+        """Install a program's initial data image."""
+        for addr, payload in image.items():
+            self.write_block(addr, payload)
+
+    def touched_pages(self) -> Iterable[Tuple[int, bytearray]]:
+        """Yield (page_id, page) for every materialized page."""
+        return self._pages.items()
+
+    def copy(self) -> "MainMemory":
+        clone = MainMemory()
+        clone._pages = {pid: bytearray(p) for pid, p in self._pages.items()}
+        return clone
+
+    def equal_contents(self, other: "MainMemory") -> bool:
+        """Structural equality ignoring untouched (all-zero) pages."""
+        zero = bytes(PAGE_SIZE)
+        mine = {p: bytes(b) for p, b in self._pages.items() if bytes(b) != zero}
+        theirs = {
+            p: bytes(b) for p, b in other._pages.items() if bytes(b) != zero
+        }
+        return mine == theirs

@@ -1,0 +1,105 @@
+"""Data prefetchers.
+
+§2 of the paper lists prefetchers among the micro-architectural structures
+that wrong-path execution trains and squash does not revert — i.e. another
+potential covert channel.  The models here are deliberately simple but
+faithful on that axis: they observe *every* demand access, wrong-path ones
+included, and the lines they pull in stay resident.
+
+Disabled by default (Table 3's machine has none); enable via
+``MemConfig.prefetcher``.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Tuple
+
+
+class Prefetcher:
+    """Interface: observe a demand access, emit prefetch addresses."""
+
+    def observe(self, pc: int, addr: int) -> List[int]:
+        raise NotImplementedError
+
+
+class NullPrefetcher(Prefetcher):
+    """No prefetching (the default, matching the paper's configuration)."""
+
+    def observe(self, pc: int, addr: int) -> List[int]:
+        return []
+
+
+class NextLinePrefetcher(Prefetcher):
+    """Fetch the next *degree* sequential lines on every access."""
+
+    def __init__(self, line_bytes: int = 64, degree: int = 1):
+        if degree < 1:
+            raise ValueError("degree must be positive")
+        self.line_bytes = line_bytes
+        self.degree = degree
+        self.issued = 0
+
+    def observe(self, pc: int, addr: int) -> List[int]:
+        line = addr - (addr % self.line_bytes)
+        out = [
+            line + self.line_bytes * (i + 1) for i in range(self.degree)
+        ]
+        self.issued += len(out)
+        return out
+
+
+class StridePrefetcher(Prefetcher):
+    """Classic PC-indexed stride prefetcher with 2-bit confidence.
+
+    Each load/store PC gets a table entry (last address, stride,
+    confidence).  Two consecutive accesses with the same stride arm the
+    entry; armed entries prefetch ``degree`` strides ahead.
+    """
+
+    def __init__(self, entries: int = 256, degree: int = 2,
+                 line_bytes: int = 64):
+        if entries < 1 or degree < 1:
+            raise ValueError("entries and degree must be positive")
+        self.entries = entries
+        self.degree = degree
+        self.line_bytes = line_bytes
+        # pc -> [last_addr, stride, confidence]
+        self._table: Dict[int, List[int]] = {}
+        self.issued = 0
+        self.trained = 0
+
+    def observe(self, pc: int, addr: int) -> List[int]:
+        entry = self._table.get(pc)
+        if entry is None:
+            if len(self._table) >= self.entries:
+                self._table.pop(next(iter(self._table)))
+            self._table[pc] = [addr, 0, 0]
+            return []
+        last_addr, stride, confidence = entry
+        new_stride = addr - last_addr
+        if new_stride == stride and stride != 0:
+            confidence = min(3, confidence + 1)
+        else:
+            confidence = max(0, confidence - 1)
+            stride = new_stride
+        entry[0], entry[1], entry[2] = addr, stride, confidence
+        if confidence < 2 or stride == 0:
+            return []
+        self.trained += 1
+        prefetches = [
+            addr + stride * (i + 1) for i in range(self.degree)
+        ]
+        self.issued += len(prefetches)
+        return prefetches
+
+
+def make_prefetcher(name: str, line_bytes: int = 64,
+                    degree: int = 2) -> Prefetcher:
+    """Factory keyed by ``MemConfig.prefetcher``."""
+    if name == "none":
+        return NullPrefetcher()
+    if name == "nextline":
+        return NextLinePrefetcher(line_bytes, degree)
+    if name == "stride":
+        return StridePrefetcher(degree=degree, line_bytes=line_bytes)
+    raise ValueError("unknown prefetcher %r" % name)

@@ -1,0 +1,52 @@
+"""A small fully-associative TLB.
+
+The paper's configuration does not size the TLB explicitly, but wrong-path
+TLB fills are one of the non-reverted structures §2 lists, so the model
+keeps one for the data path: misses add a fixed page-walk latency and fills
+performed on the wrong path persist across squash (like every other
+micro-architectural structure in this simulator).
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+
+from repro.memory.memory import PAGE_SHIFT
+
+
+class TLB:
+    """Fully-associative, true-LRU translation buffer."""
+
+    def __init__(self, entries: int = 64, walk_cycles: int = 30):
+        if entries < 1:
+            raise ValueError("TLB needs at least one entry")
+        self.entries = entries
+        self.walk_cycles = walk_cycles
+        self._pages: "OrderedDict[int, None]" = OrderedDict()
+        self.hits = 0
+        self.misses = 0
+
+    def access(self, addr: int) -> int:
+        """Translate *addr*; returns the added latency (0 on a hit)."""
+        page = addr >> PAGE_SHIFT
+        if page in self._pages:
+            self._pages.move_to_end(page)
+            self.hits += 1
+            return 0
+        self.misses += 1
+        self._pages[page] = None
+        if len(self._pages) > self.entries:
+            self._pages.popitem(last=False)
+        return self.walk_cycles
+
+    def probe(self, addr: int) -> bool:
+        """Presence check without filling (covert-channel measurement)."""
+        return (addr >> PAGE_SHIFT) in self._pages
+
+    def flush(self) -> None:
+        self._pages.clear()
+
+    @property
+    def miss_rate(self) -> float:
+        total = self.hits + self.misses
+        return self.misses / total if total else 0.0

@@ -1,0 +1,18 @@
+"""Software mitigation passes (§3.2's comparison points for NDA)."""
+
+from repro.mitigations.lfence import count_fences, harden_lfence
+from repro.mitigations.rewrite import (
+    clone_instr,
+    has_indirect_branches,
+    insert_instructions,
+    static_overhead,
+)
+
+__all__ = [
+    "count_fences",
+    "harden_lfence",
+    "clone_instr",
+    "has_indirect_branches",
+    "insert_instructions",
+    "static_overhead",
+]

@@ -1,0 +1,13 @@
+"""NDA: policies, safety tracking, and deferred-broadcast arbitration."""
+
+from repro.nda.broadcast import BroadcastArbiter
+from repro.nda.policy import ALL_POLICIES, NDAPolicy, policy_for
+from repro.nda.safety import SafetyTracker
+
+__all__ = [
+    "BroadcastArbiter",
+    "ALL_POLICIES",
+    "NDAPolicy",
+    "policy_for",
+    "SafetyTracker",
+]

@@ -1,0 +1,73 @@
+"""Deferred tag-broadcast arbitration.
+
+NDA does not add broadcast ports: newly-safe instructions compete with
+instructions completing in the current cycle for the existing ports, and
+completing instructions have priority (§5.1).  The arbiter also models the
+optional extra pipeline latency of the NDA safety logic (the Fig. 9e
+sensitivity knob): an instruction that turned safe at cycle *S* may not
+broadcast before ``S + extra_delay``.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, List, Optional
+
+from repro.core.rob import DynInstr
+
+
+class BroadcastArbiter:
+    """Per-cycle broadcast-port allocation with a deferred pool."""
+
+    def __init__(self, ports: int, extra_delay: int = 0):
+        self.ports = ports
+        self.extra_delay = extra_delay
+        self.deferred: List[DynInstr] = []
+        self.deferred_broadcasts = 0
+        self.port_conflicts = 0
+
+    def defer(self, entry: DynInstr) -> None:
+        """Queue a completed-but-unsafe (or port-starved) instruction."""
+        self.deferred.append(entry)
+
+    def remove_squashed(self) -> None:
+        self.deferred = [e for e in self.deferred if not e.squashed]
+
+    def drain(
+        self,
+        now: int,
+        ports_used: int,
+        is_safe: Callable[[DynInstr], bool],
+        broadcast: Callable[[DynInstr], None],
+    ) -> int:
+        """Broadcast eligible deferred entries with the leftover ports.
+
+        *ports_used* is how many ports this cycle's completing instructions
+        already consumed.  Returns the number of deferred entries
+        broadcast.  Entries are considered oldest-first.
+        """
+        available = self.ports - ports_used
+        if available <= 0 and self.deferred:
+            self.port_conflicts += 1
+            return 0
+        done = 0
+        remaining: List[DynInstr] = []
+        self.deferred.sort(key=lambda e: e.seq)
+        for entry in self.deferred:
+            if done >= available:
+                remaining.append(entry)
+                self.port_conflicts += 1
+                continue
+            if not is_safe(entry):
+                entry.safe_cycle = -1
+                remaining.append(entry)
+                continue
+            if entry.safe_cycle < 0:
+                entry.safe_cycle = now
+            if now < entry.safe_cycle + self.extra_delay:
+                remaining.append(entry)
+                continue
+            broadcast(entry)
+            self.deferred_broadcasts += 1
+            done += 1
+        self.deferred = remaining
+        return done

@@ -1,0 +1,94 @@
+"""The six NDA propagation policies (paper Table 2, rows 1-6).
+
+Each policy is described by four orthogonal restrictions:
+
+* ``branch_borders`` — unresolved branches delimit unsafe speculation
+  (strict & permissive propagation, §5.1/§5.2).
+* ``restrict_all`` — every micro-op dispatched after an unresolved branch is
+  unsafe (strict).  When False, only load-like micro-ops are (permissive),
+  because only loads can introduce *new* secrets into the pipeline.
+* ``bypass_restriction`` — a load that bypassed address-unresolved stores is
+  unsafe until every bypassed store resolves (defeats Spectre v4 / SSB).
+* ``load_restriction`` — load-like micro-ops are unsafe until they are the
+  eldest unretired instruction (defeats Meltdown-class chosen-code attacks).
+
+Full protection composes the strict+BR and load-restriction rows, matching
+the paper's "(4-5)" annotation in Table 2.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.config import NDAPolicyName
+
+
+@dataclass(frozen=True)
+class NDAPolicy:
+    """One row of Table 2 as an executable rule set."""
+
+    name: NDAPolicyName
+    branch_borders: bool
+    restrict_all: bool
+    bypass_restriction: bool
+    load_restriction: bool
+
+    @property
+    def blocks_control_steering(self) -> bool:
+        """Defeats all documented control-steering attacks (memory secrets)."""
+        return self.branch_borders or self.load_restriction
+
+    @property
+    def blocks_ssb(self) -> bool:
+        return self.bypass_restriction or self.load_restriction
+
+    @property
+    def protects_gprs(self) -> bool:
+        """Hinders multi-micro-op GPR exfiltration (strict propagation)."""
+        return self.restrict_all and self.branch_borders
+
+    @property
+    def blocks_chosen_code(self) -> bool:
+        return self.load_restriction
+
+
+_POLICIES = {
+    NDAPolicyName.PERMISSIVE: NDAPolicy(
+        NDAPolicyName.PERMISSIVE,
+        branch_borders=True, restrict_all=False,
+        bypass_restriction=False, load_restriction=False,
+    ),
+    NDAPolicyName.PERMISSIVE_BR: NDAPolicy(
+        NDAPolicyName.PERMISSIVE_BR,
+        branch_borders=True, restrict_all=False,
+        bypass_restriction=True, load_restriction=False,
+    ),
+    NDAPolicyName.STRICT: NDAPolicy(
+        NDAPolicyName.STRICT,
+        branch_borders=True, restrict_all=True,
+        bypass_restriction=False, load_restriction=False,
+    ),
+    NDAPolicyName.STRICT_BR: NDAPolicy(
+        NDAPolicyName.STRICT_BR,
+        branch_borders=True, restrict_all=True,
+        bypass_restriction=True, load_restriction=False,
+    ),
+    NDAPolicyName.LOAD_RESTRICTION: NDAPolicy(
+        NDAPolicyName.LOAD_RESTRICTION,
+        branch_borders=False, restrict_all=False,
+        bypass_restriction=False, load_restriction=True,
+    ),
+    NDAPolicyName.FULL_PROTECTION: NDAPolicy(
+        NDAPolicyName.FULL_PROTECTION,
+        branch_borders=True, restrict_all=True,
+        bypass_restriction=True, load_restriction=True,
+    ),
+}
+
+
+def policy_for(name: NDAPolicyName) -> NDAPolicy:
+    """Look up the rule set for a Table 2 policy name."""
+    return _POLICIES[name]
+
+
+ALL_POLICIES = tuple(_POLICIES.values())

@@ -1,0 +1,107 @@
+"""NDA safety tracking.
+
+Implements §5.1's "managing value propagation": the tracker maintains the
+set of unresolved branches and unresolved-address stores currently in
+flight, and answers — per completed micro-op — whether its output may be
+broadcast under the active policy.  The core consults it every cycle for
+its deferred-broadcast pool.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Set
+
+from repro.core.rob import DynInstr
+from repro.nda.policy import NDAPolicy
+
+
+class SafetyTracker:
+    """Tracks the safe/unsafe borders for one core."""
+
+    def __init__(self, policy: Optional[NDAPolicy]):
+        self.policy = policy
+        self._unresolved_branches: Set[int] = set()
+        self._unresolved_stores: Set[int] = set()
+        self._min_branch: Optional[int] = None  # cached min, None = dirty/empty
+
+    # ------------------------------------------------------------------ #
+    # Pipeline event hooks.
+    # ------------------------------------------------------------------ #
+
+    def on_dispatch(self, entry: DynInstr) -> None:
+        if entry.is_branch:
+            self._unresolved_branches.add(entry.seq)
+            if self._min_branch is not None and entry.seq < self._min_branch:
+                self._min_branch = entry.seq
+        if entry.is_store:
+            self._unresolved_stores.add(entry.seq)
+
+    def on_branch_resolved(self, entry: DynInstr) -> None:
+        self._unresolved_branches.discard(entry.seq)
+        self._min_branch = None
+
+    def on_store_resolved(self, entry: DynInstr) -> None:
+        self._unresolved_stores.discard(entry.seq)
+
+    def on_squash(self, entry: DynInstr) -> None:
+        if entry.is_branch:
+            self._unresolved_branches.discard(entry.seq)
+            self._min_branch = None
+        if entry.is_store:
+            self._unresolved_stores.discard(entry.seq)
+
+    # ------------------------------------------------------------------ #
+    # Queries.
+    # ------------------------------------------------------------------ #
+
+    def eldest_unresolved_branch(self) -> Optional[int]:
+        if not self._unresolved_branches:
+            return None
+        if self._min_branch is None:
+            self._min_branch = min(self._unresolved_branches)
+        return self._min_branch
+
+    def guarded_by_branch(self, entry: DynInstr) -> bool:
+        """True when an older branch is still unresolved."""
+        eldest = self.eldest_unresolved_branch()
+        return eldest is not None and eldest < entry.seq
+
+    def bypassed_stores_pending(self, entry: DynInstr) -> bool:
+        bypassed = entry.bypassed_stores
+        if not bypassed:
+            return False
+        return not bypassed.isdisjoint(self._unresolved_stores)
+
+    def is_safe(self, entry: DynInstr, head_seq: Optional[int]) -> bool:
+        """May *entry* broadcast its output this cycle?
+
+        *head_seq* is the seq of the current ROB head (load restriction's
+        "eldest unretired instruction" test).  A core with no NDA policy
+        treats everything as safe.
+        """
+        policy = self.policy
+        if policy is None:
+            return True
+        if policy.load_restriction and entry.is_load_like:
+            if head_seq is None or entry.seq != head_seq:
+                return False
+            if entry.fault is not None:
+                # A faulting load never retires: the exception fires at the
+                # head instead, so it must never wake dependents (§4.3 —
+                # "retired instructions cannot leak secrets accessed from
+                # the wrong-path").
+                return False
+        if policy.branch_borders and (
+            policy.restrict_all or entry.is_load_like
+        ):
+            if self.guarded_by_branch(entry):
+                return False
+        if policy.bypass_restriction and entry.is_load_like:
+            if self.bypassed_stores_pending(entry):
+                return False
+        return True
+
+    def reset(self) -> None:
+        self._unresolved_branches.clear()
+        self._unresolved_stores.clear()
+        self._min_branch = None

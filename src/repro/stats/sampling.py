@@ -1,0 +1,180 @@
+"""SMARTS-style simulation sampling (§6.1 methodology).
+
+The paper samples SPEC execution with the SMARTS methodology: many short
+measurement windows, each preceded by warm-up, aggregated with 95%
+confidence intervals.  Their checkpoints come from real-hardware snapshots;
+ours come from the deterministic workload generator — each *seed* is a
+checkpoint.  A sample runs one generated program, discards the first
+``warmup`` committed instructions (caches, predictors, and queues warm up
+during them) and measures the next ``measure`` instructions.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field, fields
+from typing import Callable, List, Optional
+
+from repro.config import SimConfig
+from repro.core.inorder import InOrderCore
+from repro.core.ooo import OutOfOrderCore
+from repro.errors import SimulationError
+from repro.isa.program import Program
+from repro.stats.counters import PipelineStats
+
+# Two-sided 95% t-distribution critical values by degrees of freedom.
+_T95 = {
+    1: 12.706, 2: 4.303, 3: 3.182, 4: 2.776, 5: 2.571, 6: 2.447,
+    7: 2.365, 8: 2.306, 9: 2.262, 10: 2.228, 15: 2.131, 20: 2.086,
+    30: 2.042, 60: 2.000,
+}
+
+
+def t95(dof: int) -> float:
+    """95% two-sided Student-t critical value."""
+    if dof <= 0:
+        return float("inf")
+    candidates = [k for k in _T95 if k <= dof]
+    if not candidates:
+        return _T95[1]
+    return _T95[max(candidates)]
+
+
+def stats_delta(end: PipelineStats, start: PipelineStats) -> PipelineStats:
+    """Counters accumulated between two snapshots of the same core."""
+    delta = PipelineStats()
+    for field_info in fields(PipelineStats):
+        name = field_info.name
+        end_value = getattr(end, name)
+        start_value = getattr(start, name)
+        if isinstance(end_value, dict):
+            setattr(
+                delta, name,
+                {k: end_value[k] - start_value.get(k, 0) for k in end_value},
+            )
+        else:
+            setattr(delta, name, end_value - start_value)
+    return delta
+
+
+def snapshot(stats: PipelineStats) -> PipelineStats:
+    copy = PipelineStats()
+    for field_info in fields(PipelineStats):
+        name = field_info.name
+        value = getattr(stats, name)
+        setattr(copy, name, dict(value) if isinstance(value, dict) else value)
+    return copy
+
+
+@dataclass
+class Sample:
+    """One measurement window."""
+
+    seed: int
+    window: PipelineStats
+
+    @property
+    def cpi(self) -> float:
+        return self.window.cpi
+
+
+@dataclass
+class SampledRun:
+    """Aggregated samples for one (benchmark, config) pair."""
+
+    label: str
+    benchmark: str
+    samples: List[Sample]
+
+    @property
+    def cpis(self) -> List[float]:
+        return [sample.cpi for sample in self.samples]
+
+    @property
+    def mean_cpi(self) -> float:
+        cpis = self.cpis
+        return sum(cpis) / len(cpis)
+
+    @property
+    def ci95(self) -> float:
+        """Half-width of the 95% confidence interval of the mean CPI."""
+        cpis = self.cpis
+        n = len(cpis)
+        if n < 2:
+            return 0.0
+        mean = self.mean_cpi
+        variance = sum((c - mean) ** 2 for c in cpis) / (n - 1)
+        return t95(n - 1) * math.sqrt(variance / n)
+
+    def aggregate(self) -> PipelineStats:
+        """Sum of all measurement windows (for breakdown/parallelism figs)."""
+        total = PipelineStats()
+        for sample in self.samples:
+            window = sample.window
+            for field_info in fields(PipelineStats):
+                name = field_info.name
+                value = getattr(window, name)
+                if isinstance(value, dict):
+                    merged = getattr(total, name)
+                    for key, item in value.items():
+                        merged[key] = merged.get(key, 0) + item
+                else:
+                    setattr(total, name, getattr(total, name) + value)
+        return total
+
+
+def run_window(
+    program: Program,
+    config: SimConfig,
+    warmup: int,
+    measure: int,
+    in_order: bool = False,
+    max_cycles: int = 30_000_000,
+) -> PipelineStats:
+    """Run *program*, returning the counters of the measurement window."""
+    core = InOrderCore(program, config) if in_order \
+        else OutOfOrderCore(program, config)
+    start: Optional[PipelineStats] = None
+    while not core.halted and core.cycle < max_cycles:
+        core.step()
+        if start is None and core.committed >= warmup:
+            core.stats.cycles = core.cycle
+            core.stats.committed = core.committed
+            start = snapshot(core.stats)
+        if start is not None and core.committed >= warmup + measure:
+            break
+    if start is None:
+        raise SimulationError(
+            "program %s halted after %d instructions, before the %d-"
+            "instruction warm-up finished" %
+            (program.name, core.committed, warmup)
+        )
+    core.stats.cycles = core.cycle
+    core.stats.committed = core.committed
+    window = stats_delta(core.stats, start)
+    if window.committed == 0:
+        raise SimulationError("empty measurement window for %s" % program.name)
+    return window
+
+
+def smarts_sample(
+    make_program: Callable[[int], Program],
+    config: SimConfig,
+    label: str,
+    benchmark: str,
+    samples: int = 3,
+    warmup: int = 2_000,
+    measure: int = 8_000,
+    in_order: bool = False,
+    seed0: int = 0,
+) -> SampledRun:
+    """SMARTS-style sampling: one window per seeded checkpoint."""
+    collected = []
+    for index in range(samples):
+        seed = seed0 + index
+        program = make_program(seed)
+        window = run_window(
+            program, config, warmup, measure, in_order=in_order
+        )
+        collected.append(Sample(seed=seed, window=window))
+    return SampledRun(label=label, benchmark=benchmark, samples=collected)

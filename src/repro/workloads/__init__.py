@@ -1,0 +1,38 @@
+"""Synthetic SPEC CPU 2017-like workloads and micro-kernels."""
+
+from repro.workloads.generator import generate_program, spec_program
+from repro.workloads.kernels import (
+    ALL_KERNELS,
+    dependence_chain,
+    mispredict_heavy,
+    pointer_chase,
+    store_load_aliasing,
+    streaming,
+    wide_alu,
+)
+from repro.workloads.profiles import (
+    DEFAULT_SUITE,
+    FPRATE,
+    INTRATE,
+    PROFILES,
+    BenchmarkProfile,
+    profile,
+)
+
+__all__ = [
+    "generate_program",
+    "spec_program",
+    "ALL_KERNELS",
+    "dependence_chain",
+    "mispredict_heavy",
+    "pointer_chase",
+    "store_load_aliasing",
+    "streaming",
+    "wide_alu",
+    "DEFAULT_SUITE",
+    "FPRATE",
+    "INTRATE",
+    "PROFILES",
+    "BenchmarkProfile",
+    "profile",
+]

@@ -1,0 +1,161 @@
+"""SPEC CPU 2017 benchmark profiles.
+
+The paper evaluates NDA on SPEC CPU 2017 sampled from real-hardware
+checkpoints.  SPEC binaries are licensed software and the checkpoints need a
+Haswell host, so this reproduction substitutes *synthetic* workloads: each
+profile captures the micro-architectural character of one SPEC benchmark —
+instruction mix, working-set size, memory access patterns (streaming /
+random / pointer-chasing / hot-set), branch bias, call behaviour, and code
+footprint — and the generator (:mod:`repro.workloads.generator`) emits a
+deterministic micro-op program with those properties.
+
+The parameters are chosen so the *relative* behaviours match the well-known
+characterization of the suite: ``mcf``/``omnetpp`` are pointer-chasing and
+memory-bound, ``lbm``/``bwaves``/``fotonik3d`` stream through large arrays,
+``leela``/``deepsjeng``/``xz`` are branchy integer codes, ``exchange2`` is
+compute-bound with high ILP, and the FP-rate codes carry long FP dependence
+chains.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Tuple
+
+
+@dataclass(frozen=True)
+class BenchmarkProfile:
+    """Generator parameters for one synthetic SPEC-like benchmark."""
+
+    name: str
+    suite: str  # "intrate" or "fprate"
+    # Instruction-mix fractions (the remainder is plain ALU work).
+    load_frac: float
+    store_frac: float
+    fp_frac: float
+    mul_frac: float
+    div_frac: float
+    branch_frac: float
+    call_frac: float
+    # Memory behaviour.
+    working_set_bytes: int
+    chase_frac: float  # fraction of loads that pointer-chase
+    hot_frac: float  # fraction of loads/stores hitting a 4 kB hot set
+    stream_frac: float  # fraction walking sequentially
+    # Branch behaviour: probability a conditional branch goes its biased way.
+    branch_bias: float
+    # Fraction of calls that are indirect (function-pointer dispatch).
+    indirect_call_frac: float
+    # Static code footprint, in micro-ops per loop body.
+    body_size: int
+
+    def validate(self) -> None:
+        mix = (
+            self.load_frac + self.store_frac + self.fp_frac + self.mul_frac
+            + self.div_frac + self.branch_frac + self.call_frac
+        )
+        if mix >= 1.0:
+            raise ValueError(
+                "%s: instruction mix fractions sum to %.2f >= 1" %
+                (self.name, mix)
+            )
+        if not 0.5 <= self.branch_bias <= 1.0:
+            raise ValueError("%s: branch_bias must be in [0.5, 1]" % self.name)
+        patterns = self.chase_frac + self.hot_frac + self.stream_frac
+        if patterns > 1.0:
+            raise ValueError(
+                "%s: memory pattern fractions exceed 1" % self.name
+            )
+
+
+def _p(name, suite, ld, st, fp, mul, div, br, call, ws, chase, hot,
+       stream, bias, icall, body) -> BenchmarkProfile:
+    profile = BenchmarkProfile(
+        name=name, suite=suite,
+        load_frac=ld, store_frac=st, fp_frac=fp, mul_frac=mul, div_frac=div,
+        branch_frac=br, call_frac=call,
+        working_set_bytes=ws, chase_frac=chase, hot_frac=hot,
+        stream_frac=stream, branch_bias=bias, indirect_call_frac=icall,
+        body_size=body,
+    )
+    profile.validate()
+    return profile
+
+
+KB = 1024
+MB = 1024 * KB
+
+# The SPECrate 2017 benchmarks evaluated in the paper's Fig. 7.
+PROFILES: Dict[str, BenchmarkProfile] = {
+    p.name: p for p in [
+        # --- integer rate -------------------------------------------------
+        _p("perlbench", "intrate", .22, .12, .00, .02, .00, .17, .04,
+           256 * KB, .10, .55, .10, .95, .45, 700),
+        _p("gcc", "intrate", .21, .10, .00, .02, .00, .19, .03,
+           1 * MB, .10, .40, .10, .93, .30, 2400),
+        _p("mcf", "intrate", .30, .05, .00, .01, .00, .16, .01,
+           8 * MB, .50, .15, .05, .94, .10, 450),
+        _p("omnetpp", "intrate", .28, .10, .00, .01, .00, .15, .05,
+           4 * MB, .35, .25, .05, .93, .60, 800),
+        _p("xalancbmk", "intrate", .25, .08, .00, .01, .00, .19, .05,
+           2 * MB, .15, .35, .10, .94, .55, 1600),
+        _p("x264", "intrate", .27, .12, .08, .05, .00, .08, .01,
+           512 * KB, .00, .50, .35, .975, .20, 900),
+        _p("deepsjeng", "intrate", .22, .10, .00, .03, .00, .18, .03,
+           512 * KB, .05, .45, .05, .90, .25, 600),
+        _p("leela", "intrate", .20, .08, .00, .04, .01, .19, .04,
+           128 * KB, .05, .55, .05, .88, .25, 500),
+        _p("exchange2", "intrate", .12, .08, .00, .02, .00, .12, .02,
+           64 * KB, .00, .85, .05, .985, .05, 550),
+        _p("xz", "intrate", .25, .10, .00, .02, .00, .15, .01,
+           4 * MB, .20, .25, .20, .92, .05, 700),
+        # --- floating point rate ------------------------------------------
+        _p("bwaves", "fprate", .30, .12, .28, .02, .00, .05, .00,
+           8 * MB, .00, .10, .70, .99, .00, 650),
+        _p("cactuBSSN", "fprate", .31, .13, .28, .02, .00, .04, .00,
+           4 * MB, .00, .15, .60, .99, .00, 1400),
+        _p("namd", "fprate", .25, .10, .34, .03, .00, .05, .01,
+           1 * MB, .00, .45, .25, .98, .10, 800),
+        _p("parest", "fprate", .27, .10, .25, .02, .01, .08, .01,
+           2 * MB, .05, .35, .30, .97, .15, 1000),
+        _p("povray", "fprate", .20, .10, .25, .04, .02, .12, .04,
+           256 * KB, .00, .55, .10, .95, .30, 700),
+        _p("lbm", "fprate", .29, .18, .27, .00, .00, .03, .00,
+           8 * MB, .00, .05, .85, .995, .00, 500),
+        _p("wrf", "fprate", .28, .12, .27, .02, .00, .06, .00,
+           2 * MB, .00, .25, .45, .98, .05, 1200),
+        _p("blender", "fprate", .22, .10, .25, .03, .01, .10, .03,
+           1 * MB, .05, .40, .20, .95, .25, 900),
+        _p("cam4", "fprate", .26, .12, .26, .02, .00, .08, .00,
+           2 * MB, .00, .30, .40, .97, .05, 1100),
+        _p("imagick", "fprate", .25, .10, .30, .04, .00, .06, .00,
+           512 * KB, .00, .50, .30, .985, .05, 750),
+        _p("nab", "fprate", .24, .10, .30, .03, .01, .07, .00,
+           256 * KB, .00, .50, .20, .97, .05, 650),
+        _p("fotonik3d", "fprate", .30, .12, .29, .01, .00, .04, .00,
+           4 * MB, .00, .10, .70, .99, .00, 600),
+        _p("roms", "fprate", .28, .12, .29, .02, .00, .05, .00,
+           4 * MB, .00, .15, .60, .99, .00, 700),
+    ]
+}
+
+# Compact suite used by the default benchmark harness: one representative
+# per behaviour class, keeps a full 10-config sweep tractable in Python.
+DEFAULT_SUITE: Tuple[str, ...] = (
+    "perlbench", "gcc", "mcf", "omnetpp", "x264", "deepsjeng", "leela",
+    "exchange2", "xz", "bwaves", "lbm", "imagick", "nab", "fotonik3d",
+)
+
+INTRATE = tuple(p.name for p in PROFILES.values() if p.suite == "intrate")
+FPRATE = tuple(p.name for p in PROFILES.values() if p.suite == "fprate")
+
+
+def profile(name: str) -> BenchmarkProfile:
+    """Look up a benchmark profile by SPEC-style name."""
+    try:
+        return PROFILES[name]
+    except KeyError:
+        raise KeyError(
+            "unknown benchmark %r (choose from %s)"
+            % (name, ", ".join(sorted(PROFILES)))
+        ) from None

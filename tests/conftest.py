@@ -1,0 +1,38 @@
+"""Shared fixtures for the test suite."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.config import (
+    NDAPolicyName,
+    SimConfig,
+    baseline_ooo,
+    invisispec_config,
+    nda_config,
+)
+
+# (label, config, run_on_inorder_core) for every evaluated mechanism.
+ALL_CONFIG_SPECS = [
+    ("ooo", baseline_ooo(), False),
+    ("permissive", nda_config(NDAPolicyName.PERMISSIVE), False),
+    ("permissive+br", nda_config(NDAPolicyName.PERMISSIVE_BR), False),
+    ("strict", nda_config(NDAPolicyName.STRICT), False),
+    ("strict+br", nda_config(NDAPolicyName.STRICT_BR), False),
+    ("restricted-loads", nda_config(NDAPolicyName.LOAD_RESTRICTION), False),
+    ("full-protection", nda_config(NDAPolicyName.FULL_PROTECTION), False),
+    ("invisispec-spectre", invisispec_config(False), False),
+    ("invisispec-future", invisispec_config(True), False),
+    ("in-order", baseline_ooo(), True),
+]
+
+OOO_CONFIG_SPECS = [spec for spec in ALL_CONFIG_SPECS if not spec[2]]
+
+
+@pytest.fixture
+def ooo_config() -> SimConfig:
+    return baseline_ooo()
+
+
+def config_ids(specs):
+    return [spec[0] for spec in specs]

@@ -1,0 +1,92 @@
+"""Public-API surface checks: exports, errors, outcome types."""
+
+import importlib
+
+import pytest
+
+import repro
+from repro.core.outcome import RunOutcome
+from repro.errors import (
+    AssemblyError,
+    ConfigError,
+    DeadlockError,
+    ReproError,
+    SimulationError,
+)
+from repro.isa.semantics import MachineState
+from repro.memory.memory import MainMemory
+from repro.stats.counters import PipelineStats
+
+PACKAGES = [
+    "repro",
+    "repro.isa",
+    "repro.memory",
+    "repro.frontend",
+    "repro.core",
+    "repro.nda",
+    "repro.invisispec",
+    "repro.attacks",
+    "repro.workloads",
+    "repro.stats",
+    "repro.harness",
+]
+
+
+@pytest.mark.parametrize("package", PACKAGES)
+def test_package_all_resolves(package):
+    module = importlib.import_module(package)
+    for name in getattr(module, "__all__", []):
+        assert hasattr(module, name), "%s.%s missing" % (package, name)
+
+
+def test_version_string():
+    assert repro.__version__.count(".") == 2
+
+
+class TestErrorHierarchy:
+    def test_all_derive_from_repro_error(self):
+        for error in (AssemblyError, ConfigError, DeadlockError,
+                      SimulationError):
+            assert issubclass(error, ReproError)
+
+    def test_deadlock_is_simulation_error(self):
+        assert issubclass(DeadlockError, SimulationError)
+
+    def test_catchable_as_base(self):
+        with pytest.raises(ReproError):
+            raise ConfigError("boom")
+
+
+class TestRunOutcome:
+    def _outcome(self):
+        state = MachineState(
+            regs=[0] * 40, memory=MainMemory(), halted=True, pc=0,
+            committed=10,
+        )
+        stats = PipelineStats(cycles=20, committed=10)
+        return RunOutcome(state=state, stats=stats, label="Test")
+
+    def test_cpi_property(self):
+        assert self._outcome().cpi == 2.0
+
+    def test_reg_accessor(self):
+        outcome = self._outcome()
+        outcome.state.regs[3] = 77
+        assert outcome.reg(3) == 77
+
+    def test_repr_mentions_label_and_cpi(self):
+        text = repr(self._outcome())
+        assert "Test" in text
+        assert "2.000" in text
+
+
+def test_quickstart_docstring_example_runs():
+    """The package docstring's example must stay executable."""
+    from repro import NDAPolicyName, baseline_ooo, nda_config, run_program
+    from repro.workloads import spec_program
+
+    program = spec_program("mcf", instructions=1_500, seed=1)
+    insecure = run_program(program, baseline_ooo())
+    protected = run_program(program, nda_config(NDAPolicyName.PERMISSIVE))
+    assert insecure.cpi > 0
+    assert protected.cpi >= insecure.cpi * 0.95

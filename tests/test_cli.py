@@ -1,0 +1,59 @@
+"""Tests for the nda-repro command-line interface."""
+
+import pytest
+
+from repro.cli import main
+
+
+def test_table3(capsys):
+    assert main(["table3"]) == 0
+    out = capsys.readouterr().out
+    assert "Table 3" in out
+    assert "8-issue" in out
+
+
+def test_attack_blocked_returns_zero(capsys):
+    code = main([
+        "attack", "spectre_v1_cache", "--config", "permissive",
+        "--guesses", "8",
+    ])
+    assert code == 0
+    assert "leaked=False" in capsys.readouterr().out
+
+
+def test_attack_leak_returns_one(capsys):
+    code = main([
+        "attack", "spectre_v1_cache", "--config", "ooo", "--guesses", "8",
+    ])
+    assert code == 1
+    assert "leaked=True" in capsys.readouterr().out
+
+
+def test_attack_custom_secret(capsys):
+    code = main([
+        "attack", "lazyfp", "--config", "ooo", "--secret", "7",
+        "--guesses", "8",
+    ])
+    assert code == 1
+    assert "secret=7" in capsys.readouterr().out
+
+
+def test_unknown_attack_rejected():
+    with pytest.raises(SystemExit):
+        main(["attack", "rowhammer"])
+
+
+def test_no_command_rejected():
+    with pytest.raises(SystemExit):
+        main([])
+
+
+def test_bench_tiny(capsys):
+    code = main([
+        "bench", "--benchmarks", "exchange2", "--samples", "2",
+        "--warmup", "300", "--measure", "800",
+    ])
+    assert code == 0
+    out = capsys.readouterr().out
+    assert "Figure 7" in out
+    assert "Table 2" in out

@@ -1,0 +1,413 @@
+"""Unit tests for rename, ROB, issue queue, FU pool, and LSQ."""
+
+import pytest
+
+from repro.config import CoreConfig
+from repro.core.fu import FUPool
+from repro.core.issue_queue import IssueQueue
+from repro.core.lsq import LSQ, LoadAction
+from repro.core.rename import PhysRegFile, RenameTable
+from repro.core.rob import ROB, DynInstr
+from repro.errors import SimulationError
+from repro.frontend.fetch import FetchedOp
+from repro.isa.instruction import Instr
+from repro.isa.opcodes import FUType, Opcode
+from repro.isa.registers import NUM_ARCH_REGS, R0, R1, R2, R3
+
+
+def dyn(seq, instr, dispatch_cycle=0) -> DynInstr:
+    fetched = FetchedOp(instr, pc=seq, fetch_cycle=0, pred_next_pc=seq + 1)
+    return DynInstr(seq, fetched, dispatch_cycle)
+
+
+def alu(seq) -> DynInstr:
+    return dyn(seq, Instr(Opcode.ADD, rd=R1, rs1=R2, rs2=R3))
+
+
+def load(seq, addr=None, size=8) -> DynInstr:
+    entry = dyn(seq, Instr(Opcode.LOAD, rd=R1, rs1=R2))
+    entry.addr = addr
+    entry.mem_size = size
+    return entry
+
+
+def store(seq, addr=None, data=None, size=8) -> DynInstr:
+    entry = dyn(seq, Instr(Opcode.STORE, rs1=R2, rs2=R3))
+    entry.addr = addr
+    entry.store_data = data
+    entry.mem_size = size
+    return entry
+
+
+class TestPhysRegFile:
+    def test_arch_regs_initially_ready(self):
+        prf = PhysRegFile(64)
+        assert all(prf.ready[:NUM_ARCH_REGS])
+
+    def test_alloc_returns_unready_reg(self):
+        prf = PhysRegFile(64)
+        reg = prf.alloc()
+        assert reg >= NUM_ARCH_REGS
+        assert not prf.ready[reg]
+
+    def test_alloc_exhaustion(self):
+        prf = PhysRegFile(NUM_ARCH_REGS + 2)
+        assert prf.alloc() is not None
+        assert prf.alloc() is not None
+        assert prf.alloc() is None
+
+    def test_free_recycles(self):
+        prf = PhysRegFile(NUM_ARCH_REGS + 1)
+        reg = prf.alloc()
+        prf.free(reg)
+        assert prf.alloc() == reg
+
+    def test_write_does_not_set_ready(self):
+        prf = PhysRegFile(64)
+        reg = prf.alloc()
+        prf.write(reg, 42)
+        assert prf.value[reg] == 42
+        assert not prf.ready[reg]
+        prf.mark_ready(reg)
+        assert prf.ready[reg]
+
+    def test_too_few_regs_rejected(self):
+        with pytest.raises(SimulationError):
+            PhysRegFile(NUM_ARCH_REGS)
+
+
+class TestRenameTable:
+    def test_identity_initial_mapping(self):
+        rat = RenameTable(PhysRegFile(64))
+        assert rat.lookup(R2) == R2
+
+    def test_rename_and_rollback(self):
+        prf = PhysRegFile(64)
+        rat = RenameTable(prf)
+        new, prev = rat.rename_dest(R1)
+        assert rat.lookup(R1) == new
+        rat.rollback(R1, new, prev)
+        assert rat.lookup(R1) == prev
+
+    def test_rollback_must_be_youngest_first(self):
+        prf = PhysRegFile(64)
+        rat = RenameTable(prf)
+        first, prev_first = rat.rename_dest(R1)
+        second, prev_second = rat.rename_dest(R1)
+        with pytest.raises(SimulationError):
+            rat.rollback(R1, first, prev_first)  # out of order
+        rat.rollback(R1, second, prev_second)
+        rat.rollback(R1, first, prev_first)
+        assert rat.lookup(R1) == R1
+
+    def test_r0_never_renamed(self):
+        rat = RenameTable(PhysRegFile(64))
+        assert rat.rename_dest(R0) is None
+
+    def test_retire_frees_previous(self):
+        prf = PhysRegFile(NUM_ARCH_REGS + 1)
+        rat = RenameTable(prf)
+        _, prev = rat.rename_dest(R1)
+        assert prf.free_count == 0
+        rat.retire(prev)
+        assert prf.free_count == 1
+
+
+class TestROB:
+    def test_fifo_order(self):
+        rob = ROB(8)
+        rob.push(alu(0))
+        rob.push(alu(1))
+        assert rob.head.seq == 0
+        assert rob.pop_head().seq == 0
+        assert rob.head.seq == 1
+
+    def test_full(self):
+        rob = ROB(2)
+        rob.push(alu(0))
+        assert not rob.full
+        rob.push(alu(1))
+        assert rob.full
+
+    def test_squash_younger(self):
+        rob = ROB(8)
+        for seq in range(5):
+            rob.push(alu(seq))
+        removed = rob.squash_younger(2)
+        assert [e.seq for e in removed] == [4, 3]  # youngest first
+        assert all(e.squashed for e in removed)
+        assert len(rob) == 3
+
+    def test_squash_all(self):
+        rob = ROB(8)
+        rob.push(alu(0))
+        removed = rob.squash_younger(-1)
+        assert len(removed) == 1
+        assert len(rob) == 0
+
+    def test_nearest_older_branch(self):
+        rob = ROB(8)
+        rob.push(alu(0))
+        branch = dyn(1, Instr(Opcode.BEQ, rs1=R1, rs2=R2, target=0))
+        rob.push(branch)
+        rob.push(alu(2))
+        assert rob.nearest_older_branch(2) is branch
+        assert rob.nearest_older_branch(1) is None
+
+
+class TestFUPool:
+    def test_per_cycle_limits(self):
+        pool = FUPool(CoreConfig(num_alu=2))
+        assert pool.can_issue(FUType.ALU, 0)
+        pool.issue(FUType.ALU, 0, 1)
+        pool.issue(FUType.ALU, 0, 1)
+        assert not pool.can_issue(FUType.ALU, 0)
+        assert pool.can_issue(FUType.ALU, 1)  # next cycle
+
+    def test_div_unpipelined(self):
+        pool = FUPool(CoreConfig(num_div=1))
+        pool.issue(FUType.DIV, 0, 12)
+        assert not pool.can_issue(FUType.DIV, 5)
+        assert pool.can_issue(FUType.DIV, 12)
+
+    def test_mul_pipelined(self):
+        pool = FUPool(CoreConfig(num_mul=1))
+        pool.issue(FUType.MUL, 0, 3)
+        assert pool.can_issue(FUType.MUL, 1)
+
+    def test_used_counter(self):
+        pool = FUPool(CoreConfig())
+        pool.issue(FUType.BRANCH, 7, 1)
+        assert pool.used(FUType.BRANCH, 7) == 1
+        assert pool.used(FUType.BRANCH, 8) == 0
+
+
+class TestIssueQueue:
+    def _make(self, capacity=8):
+        prf = PhysRegFile(64)
+        return IssueQueue(capacity, prf), prf
+
+    def test_ready_on_insert_when_sources_ready(self):
+        iq, prf = self._make()
+        entry = alu(0)
+        entry.phys_srcs = (R2, R3)  # arch-backed: ready
+        iq.insert(entry)
+        pool = FUPool(CoreConfig())
+        assert iq.select(0, 8, pool, lambda e, n: True) == [entry]
+
+    def test_wakeup_via_broadcast(self):
+        iq, prf = self._make()
+        producer_reg = prf.alloc()
+        entry = alu(0)
+        entry.phys_srcs = (producer_reg,)
+        iq.insert(entry)
+        pool = FUPool(CoreConfig())
+        assert iq.select(0, 8, pool, lambda e, n: True) == []
+        prf.mark_ready(producer_reg)
+        iq.on_broadcast(producer_reg)
+        assert iq.select(1, 8, pool, lambda e, n: True) == [entry]
+
+    def test_two_source_wakeup_needs_both(self):
+        iq, prf = self._make()
+        reg_a, reg_b = prf.alloc(), prf.alloc()
+        entry = alu(0)
+        entry.phys_srcs = (reg_a, reg_b)
+        iq.insert(entry)
+        pool = FUPool(CoreConfig())
+        prf.mark_ready(reg_a)
+        iq.on_broadcast(reg_a)
+        assert iq.select(0, 8, pool, lambda e, n: True) == []
+        prf.mark_ready(reg_b)
+        iq.on_broadcast(reg_b)
+        assert iq.select(1, 8, pool, lambda e, n: True) == [entry]
+
+    def test_select_oldest_first_and_width(self):
+        iq, prf = self._make()
+        entries = [alu(seq) for seq in range(4)]
+        for entry in reversed(entries):
+            entry.phys_srcs = ()
+            iq.insert(entry)
+        pool = FUPool(CoreConfig(num_alu=8))
+        selected = iq.select(0, 2, pool, lambda e, n: True)
+        assert [e.seq for e in selected] == [0, 1]
+
+    def test_may_issue_veto(self):
+        iq, prf = self._make()
+        entry = alu(0)
+        entry.phys_srcs = ()
+        iq.insert(entry)
+        pool = FUPool(CoreConfig())
+        assert iq.select(0, 8, pool, lambda e, n: False) == []
+        assert len(iq) == 1
+
+    def test_remove_squashed_updates_size(self):
+        iq, prf = self._make()
+        pending_reg = prf.alloc()
+        ready_entry = alu(0)
+        ready_entry.phys_srcs = ()
+        waiting_entry = alu(1)
+        waiting_entry.phys_srcs = (pending_reg,)
+        iq.insert(ready_entry)
+        iq.insert(waiting_entry)
+        ready_entry.squashed = True
+        waiting_entry.squashed = True
+        iq.remove_squashed()
+        assert len(iq) == 0
+
+    def test_capacity(self):
+        iq, _ = self._make(capacity=1)
+        entry = alu(0)
+        entry.phys_srcs = ()
+        iq.insert(entry)
+        assert iq.full
+
+
+class TestLSQ:
+    def test_load_with_no_stores_goes_to_memory(self):
+        lsq = LSQ(4, 4)
+        entry = load(1, addr=0x100)
+        lsq.dispatch(entry)
+        decision = lsq.decide_load(entry)
+        assert decision.action is LoadAction.MEMORY
+        assert not decision.bypassed_stores
+
+    def test_bypass_unresolved_store(self):
+        lsq = LSQ(4, 4)
+        unresolved = store(0)
+        target = load(1, addr=0x100)
+        lsq.dispatch(unresolved)
+        lsq.dispatch(target)
+        decision = lsq.decide_load(target)
+        assert decision.action is LoadAction.MEMORY
+        assert decision.bypassed_stores == {0}
+        assert lsq.bypasses == 1
+
+    def test_forward_from_containing_store(self):
+        lsq = LSQ(4, 4)
+        source = store(0, addr=0x100, data=0xAABBCCDD)
+        target = load(1, addr=0x100)
+        lsq.dispatch(source)
+        lsq.dispatch(target)
+        decision = lsq.decide_load(target)
+        assert decision.action is LoadAction.FORWARD
+        assert decision.value == 0xAABBCCDD
+        assert decision.forwarded_from == 0
+
+    def test_forward_byte_slice(self):
+        lsq = LSQ(4, 4)
+        source = store(0, addr=0x100, data=0x1122334455667788)
+        target = load(1, addr=0x102, size=1)
+        lsq.dispatch(source)
+        lsq.dispatch(target)
+        decision = lsq.decide_load(target)
+        assert decision.action is LoadAction.FORWARD
+        assert decision.value == 0x66
+
+    def test_partial_overlap_waits(self):
+        lsq = LSQ(4, 4)
+        source = store(0, addr=0x104, data=1, size=8)
+        target = load(1, addr=0x100)  # overlaps bytes 0x104-0x107 only
+        lsq.dispatch(source)
+        lsq.dispatch(target)
+        assert lsq.decide_load(target).action is LoadAction.WAIT
+
+    def test_store_without_data_waits(self):
+        lsq = LSQ(4, 4)
+        source = store(0, addr=0x100, data=None)
+        target = load(1, addr=0x100)
+        lsq.dispatch(source)
+        lsq.dispatch(target)
+        assert lsq.decide_load(target).action is LoadAction.WAIT
+
+    def test_youngest_matching_store_wins(self):
+        lsq = LSQ(4, 4)
+        older = store(0, addr=0x100, data=1)
+        newer = store(1, addr=0x100, data=2)
+        target = load(2, addr=0x100)
+        for entry in (older, newer, target):
+            lsq.dispatch(entry)
+        assert lsq.decide_load(target).value == 2
+
+    def test_younger_stores_ignored(self):
+        lsq = LSQ(4, 4)
+        younger = store(5, addr=0x100, data=9)
+        target = load(2, addr=0x100)
+        lsq.dispatch(younger)
+        lsq.dispatch(target)
+        assert lsq.decide_load(target).action is LoadAction.MEMORY
+
+    def test_violation_detects_stale_load(self):
+        lsq = LSQ(4, 4)
+        source = store(0)
+        target = load(1, addr=0x100)
+        lsq.dispatch(source)
+        lsq.dispatch(target)
+        target.data_obtained = True
+        source.addr = 0x100
+        source.mem_size = 8
+        assert lsq.check_violation(source) is target
+        assert lsq.violations == 1
+
+    def test_violation_ignores_loads_without_data(self):
+        lsq = LSQ(4, 4)
+        source = store(0)
+        target = load(1, addr=0x100)
+        lsq.dispatch(source)
+        lsq.dispatch(target)
+        source.addr = 0x100
+        assert lsq.check_violation(source) is None
+
+    def test_violation_ignores_disjoint_addresses(self):
+        lsq = LSQ(4, 4)
+        source = store(0)
+        target = load(1, addr=0x200)
+        lsq.dispatch(source)
+        lsq.dispatch(target)
+        target.data_obtained = True
+        source.addr = 0x100
+        assert lsq.check_violation(source) is None
+
+    def test_violation_exempts_forward_from_younger_store(self):
+        lsq = LSQ(4, 4)
+        resolving = store(0)
+        middle = store(3, addr=0x100, data=7)
+        target = load(4, addr=0x100)
+        for entry in (resolving, middle, target):
+            lsq.dispatch(entry)
+        target.data_obtained = True
+        target.forwarded_from = 3
+        resolving.addr = 0x100
+        assert lsq.check_violation(resolving) is None
+
+    def test_eldest_violating_load_returned(self):
+        lsq = LSQ(4, 4)
+        source = store(0)
+        first = load(1, addr=0x100)
+        second = load(2, addr=0x100)
+        for entry in (source, first, second):
+            lsq.dispatch(entry)
+        first.data_obtained = True
+        second.data_obtained = True
+        source.addr = 0x100
+        assert lsq.check_violation(source) is first
+
+    def test_capacity_gates_dispatch(self):
+        lsq = LSQ(1, 1)
+        first_load = load(0, addr=0x0)
+        lsq.dispatch(first_load)
+        assert not lsq.can_dispatch(load(1))
+        assert lsq.can_dispatch(store(1))
+        assert lsq.can_dispatch(alu(1))
+
+    def test_retire_removes(self):
+        lsq = LSQ(4, 4)
+        entry = load(0, addr=0x0)
+        lsq.dispatch(entry)
+        lsq.retire(entry)
+        assert not lsq.loads
+
+    def test_unresolved_store_seqs(self):
+        lsq = LSQ(4, 4)
+        lsq.dispatch(store(0))
+        lsq.dispatch(store(1, addr=0x50))
+        assert lsq.unresolved_store_seqs() == {0}

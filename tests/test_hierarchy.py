@@ -1,0 +1,145 @@
+"""Tests for the timed memory hierarchy, MSHRs, and the TLB."""
+
+import pytest
+
+from repro.config import MemConfig
+from repro.memory.hierarchy import MemoryHierarchy
+from repro.memory.tlb import TLB
+
+
+@pytest.fixture
+def hierarchy() -> MemoryHierarchy:
+    return MemoryHierarchy(MemConfig())
+
+
+class TestLatencies:
+    def test_l1_hit_latency(self, hierarchy):
+        hierarchy.warm_data([0x1000])
+        hierarchy.dtlb.access(0x1000)
+        result = hierarchy.data_access(0x1000, now=0)
+        assert result.l1_hit
+        assert result.latency == 4
+
+    def test_l2_hit_latency(self, hierarchy):
+        hierarchy.l2.fill(0x1000)
+        hierarchy.dtlb.access(0x1000)
+        result = hierarchy.data_access(0x1000, now=0)
+        assert not result.l1_hit and result.l2_hit
+        assert result.latency == 40
+
+    def test_dram_latency(self, hierarchy):
+        hierarchy.dtlb.access(0x1000)
+        result = hierarchy.data_access(0x1000, now=0)
+        assert result.offchip
+        assert result.latency == 140
+        assert result.level == "dram"
+
+    def test_tlb_walk_adds_latency(self, hierarchy):
+        hierarchy.warm_data([0x1000])
+        result = hierarchy.data_access(0x1000, now=0)
+        assert result.latency == 4 + hierarchy.dtlb.walk_cycles
+
+    def test_miss_fills_upper_levels(self, hierarchy):
+        hierarchy.data_access(0x1000, now=0)
+        assert hierarchy.l1d.probe(0x1000)
+        assert hierarchy.l2.probe(0x1000)
+
+    def test_inst_path_latencies(self, hierarchy):
+        miss = hierarchy.inst_access(0x40, now=0)
+        assert miss.offchip
+        hit = hierarchy.inst_access(0x40, now=0)
+        assert hit.l1_hit
+        assert hit.latency == 4
+
+
+class TestInvisibleAccess:
+    def test_no_fill_leaves_caches_untouched(self, hierarchy):
+        hierarchy.dtlb.access(0x1000)
+        result = hierarchy.data_access(0x1000, now=0, fill=False)
+        assert result.offchip
+        assert not hierarchy.l1d.probe(0x1000)
+        assert not hierarchy.l2.probe(0x1000)
+
+    def test_no_fill_sees_existing_lines(self, hierarchy):
+        hierarchy.warm_data([0x1000])
+        result = hierarchy.data_access(0x1000, now=0, fill=False,
+                                       translate=False)
+        assert result.l1_hit
+
+    def test_expose_fill_installs(self, hierarchy):
+        hierarchy.data_access(0x1000, now=0, fill=False)
+        hierarchy.expose_fill(0x1000, now=0)
+        assert hierarchy.l1d.probe(0x1000)
+
+
+class TestFlush:
+    def test_flush_data_line(self, hierarchy):
+        hierarchy.warm_data([0x1000])
+        hierarchy.flush_data_line(0x1000)
+        assert not hierarchy.l1d.probe(0x1000)
+        assert not hierarchy.l2.probe(0x1000)
+
+
+class TestMSHRs:
+    def test_outstanding_tracking(self, hierarchy):
+        hierarchy.data_access(0x10000, now=0, translate=False)
+        hierarchy.data_access(0x20000, now=0, translate=False)
+        assert hierarchy.outstanding_offchip(0) == 2
+        assert hierarchy.outstanding_offchip(1_000) == 0
+
+    def test_mshr_queueing_delay(self):
+        config = MemConfig(mshrs=1)
+        hierarchy = MemoryHierarchy(config)
+        first = hierarchy.data_access(0x10000, now=0, translate=False)
+        second = hierarchy.data_access(0x20000, now=0, translate=False)
+        assert second.latency > first.latency
+
+    def test_completed_misses_release_mshrs(self):
+        config = MemConfig(mshrs=1)
+        hierarchy = MemoryHierarchy(config)
+        hierarchy.data_access(0x10000, now=0, translate=False)
+        late = hierarchy.data_access(0x20000, now=10_000, translate=False)
+        assert late.latency == 140
+
+    def test_offchip_miss_counter(self, hierarchy):
+        hierarchy.data_access(0x10000, now=0, translate=False)
+        hierarchy.warm_data([0x30000])
+        hierarchy.data_access(0x30000, now=0, translate=False)
+        assert hierarchy.offchip_misses == 1
+
+
+class TestTLB:
+    def test_miss_then_hit(self):
+        tlb = TLB(entries=4, walk_cycles=30)
+        assert tlb.access(0x1000) == 30
+        assert tlb.access(0x1fff) == 0  # same page
+
+    def test_lru_eviction(self):
+        tlb = TLB(entries=2)
+        tlb.access(0x1000)
+        tlb.access(0x2000)
+        tlb.access(0x1000)  # refresh page 1
+        tlb.access(0x3000)  # evicts page 2
+        assert tlb.probe(0x1000)
+        assert not tlb.probe(0x2000)
+
+    def test_probe_does_not_fill(self):
+        tlb = TLB()
+        assert not tlb.probe(0x5000)
+        assert not tlb.probe(0x5000)
+
+    def test_flush(self):
+        tlb = TLB()
+        tlb.access(0x1000)
+        tlb.flush()
+        assert not tlb.probe(0x1000)
+
+    def test_miss_rate(self):
+        tlb = TLB()
+        tlb.access(0x1000)
+        tlb.access(0x1000)
+        assert tlb.miss_rate == pytest.approx(0.5)
+
+    def test_zero_entries_rejected(self):
+        with pytest.raises(ValueError):
+            TLB(entries=0)

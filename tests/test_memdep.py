@@ -1,0 +1,87 @@
+"""Tests for the memory dependence predictor (wait table)."""
+
+from dataclasses import replace
+
+import pytest
+
+from repro.config import CoreConfig, baseline_ooo
+from repro.core.memdep import AlwaysBypass, WaitTable, make_memdep
+from repro.core.ooo import run_program
+from repro.errors import ConfigError
+
+
+class TestWaitTable:
+    def test_cold_table_never_waits(self):
+        table = WaitTable()
+        assert not table.should_wait(0x10)
+
+    def test_violation_trains(self):
+        table = WaitTable()
+        table.record_violation(0x10)
+        assert table.should_wait(0x10)
+        assert not table.should_wait(0x20)
+
+    def test_capacity_bounded(self):
+        table = WaitTable(entries=2)
+        for pc in range(10):
+            table.record_violation(pc)
+        assert len(table) <= 2
+
+    def test_decay_clears(self):
+        table = WaitTable(decay_period=4)
+        table.record_violation(0x10)
+        for _ in range(4):
+            table.should_wait(0x99)
+        assert not table.should_wait(0x10)
+
+    def test_stats(self):
+        table = WaitTable()
+        table.record_violation(0x10)
+        table.should_wait(0x10)
+        assert table.trained == 1
+        assert table.waits == 1
+
+
+class TestFactory:
+    def test_names(self):
+        assert isinstance(make_memdep("none"), AlwaysBypass)
+        assert isinstance(make_memdep("waittable"), WaitTable)
+        with pytest.raises(ValueError):
+            make_memdep("storesets")
+
+    def test_config_validation(self):
+        with pytest.raises(ConfigError):
+            CoreConfig(memdep="storesets").validate()
+
+
+class TestPipelineIntegration:
+    def _aliasing_outcomes(self):
+        from repro.workloads.kernels import store_load_aliasing
+        program = store_load_aliasing(600)
+        base = run_program(program, baseline_ooo())
+        config = replace(
+            baseline_ooo(), core=CoreConfig(memdep="waittable")
+        ).validate()
+        predicted = run_program(program, config)
+        return base, predicted
+
+    def test_wait_table_reduces_violations(self):
+        base, predicted = self._aliasing_outcomes()
+        assert predicted.stats.memory_violations < \
+            base.stats.memory_violations
+
+    def test_wait_table_preserves_architecture(self):
+        base, predicted = self._aliasing_outcomes()
+        assert predicted.state.regs == base.state.regs
+        assert predicted.state.memory.equal_contents(base.state.memory)
+
+    def test_ssb_leaks_even_with_wait_table(self):
+        """Dependence prediction is not a defense: the attack's first
+        (cold-table) execution still bypasses and leaks — only NDA's
+        Bypass Restriction closes the channel (§5.2)."""
+        from repro.attacks import ssb
+        config = replace(
+            baseline_ooo(), core=CoreConfig(memdep="waittable")
+        ).validate()
+        outcome = ssb.run(config)
+        assert outcome.leaked

@@ -1,0 +1,94 @@
+"""Unit tests for the sparse backing store."""
+
+from repro.memory.memory import PAGE_SIZE, MainMemory
+
+
+class TestByteAccess:
+    def test_untouched_reads_zero(self):
+        assert MainMemory().read_byte(0x1234) == 0
+
+    def test_byte_roundtrip(self):
+        mem = MainMemory()
+        mem.write_byte(10, 0xAB)
+        assert mem.read_byte(10) == 0xAB
+
+    def test_byte_masking(self):
+        mem = MainMemory()
+        mem.write_byte(0, 0x1FF)
+        assert mem.read_byte(0) == 0xFF
+
+    def test_address_wraps_to_64_bits(self):
+        mem = MainMemory()
+        mem.write_byte(1 << 64, 7)
+        assert mem.read_byte(0) == 7
+
+
+class TestWordAccess:
+    def test_word_roundtrip(self):
+        mem = MainMemory()
+        mem.write_word(0x100, 0x1122334455667788)
+        assert mem.read_word(0x100) == 0x1122334455667788
+
+    def test_word_little_endian(self):
+        mem = MainMemory()
+        mem.write_word(0, 0x01)
+        assert mem.read_byte(0) == 1
+        assert mem.read_byte(7) == 0
+
+    def test_word_straddles_page_boundary(self):
+        mem = MainMemory()
+        addr = PAGE_SIZE - 4
+        mem.write_word(addr, 0xA1B2C3D4E5F60718)
+        assert mem.read_word(addr) == 0xA1B2C3D4E5F60718
+
+    def test_word_masks_to_64_bits(self):
+        mem = MainMemory()
+        mem.write_word(0, 1 << 64)
+        assert mem.read_word(0) == 0
+
+    def test_unaligned_word(self):
+        mem = MainMemory()
+        mem.write_word(3, 0xDEADBEEF)
+        assert mem.read_word(3) == 0xDEADBEEF
+
+
+class TestBulk:
+    def test_block_roundtrip(self):
+        mem = MainMemory()
+        mem.write_block(50, b"hello")
+        assert mem.read_block(50, 5) == b"hello"
+
+    def test_load_image(self):
+        mem = MainMemory()
+        mem.load_image({0: b"ab", 100: b"cd"})
+        assert mem.read_byte(0) == ord("a")
+        assert mem.read_byte(101) == ord("d")
+
+    def test_copy_is_independent(self):
+        mem = MainMemory()
+        mem.write_byte(0, 1)
+        clone = mem.copy()
+        clone.write_byte(0, 2)
+        assert mem.read_byte(0) == 1
+        assert clone.read_byte(0) == 2
+
+    def test_equal_contents_ignores_zero_pages(self):
+        a = MainMemory()
+        b = MainMemory()
+        a.read_word(0x5000)  # does not materialize
+        b.write_byte(0x9000, 0)  # materializes an all-zero page
+        assert a.equal_contents(b)
+
+    def test_equal_contents_detects_difference(self):
+        a = MainMemory()
+        b = MainMemory()
+        a.write_byte(0, 1)
+        assert not a.equal_contents(b)
+        b.write_byte(0, 1)
+        assert a.equal_contents(b)
+
+    def test_touched_pages(self):
+        mem = MainMemory()
+        mem.write_byte(0, 1)
+        mem.write_byte(PAGE_SIZE, 1)
+        assert len(list(mem.touched_pages())) == 2

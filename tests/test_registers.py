@@ -1,0 +1,56 @@
+"""Unit tests for the architectural register namespace."""
+
+import pytest
+
+from repro.isa import registers as regs
+
+
+class TestRegisterLayout:
+    def test_register_counts(self):
+        assert regs.NUM_ARCH_REGS == regs.NUM_INT_REGS + regs.NUM_FP_REGS
+        assert len(regs.ALL_REGS) == regs.NUM_ARCH_REGS
+
+    def test_int_and_fp_partition(self):
+        assert set(regs.INT_REGS) | set(regs.FP_REGS) == set(regs.ALL_REGS)
+        assert not set(regs.INT_REGS) & set(regs.FP_REGS)
+
+    def test_zero_register_is_r0(self):
+        assert regs.ZERO == regs.R0 == 0
+
+    def test_link_register_alias(self):
+        assert regs.LR == regs.R30
+        assert regs.SP == regs.R31
+
+    def test_fp_registers_follow_int(self):
+        assert regs.F0 == regs.NUM_INT_REGS
+        assert regs.F7 == regs.NUM_INT_REGS + 7
+
+    def test_scratch_regs_exclude_special(self):
+        assert regs.R0 not in regs.SCRATCH_REGS
+        assert regs.LR not in regs.SCRATCH_REGS
+        assert regs.SP not in regs.SCRATCH_REGS
+
+
+class TestRegisterNames:
+    def test_int_names(self):
+        assert regs.reg_name(regs.R5) == "r5"
+
+    def test_fp_names(self):
+        assert regs.reg_name(regs.F3) == "f3"
+
+    def test_alias_names(self):
+        assert regs.reg_name(regs.LR) == "lr"
+        assert regs.reg_name(regs.SP) == "sp"
+
+    def test_invalid_register_raises(self):
+        with pytest.raises(ValueError):
+            regs.reg_name(regs.NUM_ARCH_REGS)
+        with pytest.raises(ValueError):
+            regs.reg_name(-1)
+
+    def test_is_arch_reg(self):
+        assert regs.is_arch_reg(0)
+        assert regs.is_arch_reg(regs.NUM_ARCH_REGS - 1)
+        assert not regs.is_arch_reg(regs.NUM_ARCH_REGS)
+        assert not regs.is_arch_reg(-1)
+        assert not regs.is_arch_reg("r1")

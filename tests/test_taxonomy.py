@@ -1,0 +1,110 @@
+"""Unit tests for the Table 1/2 taxonomy and expectation logic."""
+
+import pytest
+
+from repro.attacks.taxonomy import (
+    IMPLEMENTED,
+    TABLE1_COVERAGE,
+    AttackInfo,
+    expected_leak,
+)
+from repro.config import (
+    NDAPolicyName,
+    baseline_ooo,
+    invisispec_config,
+    nda_config,
+)
+
+
+def by_name(name: str) -> AttackInfo:
+    return next(info for info in IMPLEMENTED if info.name == name)
+
+
+class TestTaxonomyStructure:
+    def test_nine_attacks_implemented(self):
+        assert len(IMPLEMENTED) == 9
+
+    def test_access_classes(self):
+        classes = {info.access_class for info in IMPLEMENTED}
+        assert classes == {"control-steering", "chosen-code"}
+
+    def test_chosen_code_attacks(self):
+        chosen = {i.name for i in IMPLEMENTED
+                  if i.access_class == "chosen-code"}
+        assert chosen == {"meltdown", "lazyfp"}
+
+    def test_btb_channel_attack_present(self):
+        assert by_name("spectre_v1_btb").channel == "btb"
+
+    def test_every_module_has_run(self):
+        for info in IMPLEMENTED:
+            assert callable(info.module.run)
+
+    def test_table1_coverage_mentions_all_rows(self):
+        for row in ("Spectre v1", "Spectre v2", "SSB (Spectre v4)",
+                    "Meltdown (v3/v3a)", "LazyFP", "Foreshadow (L1TF)",
+                    "MDS attacks", "NetSpectre", "SMoTher Spectre",
+                    "ret2spec"):
+            assert row in TABLE1_COVERAGE
+
+
+class TestExpectedLeak:
+    def test_everything_leaks_on_baseline(self):
+        for info in IMPLEMENTED:
+            assert expected_leak(info, baseline_ooo())
+
+    def test_nothing_leaks_in_order(self):
+        for info in IMPLEMENTED:
+            assert not expected_leak(info, baseline_ooo(), in_order=True)
+
+    def test_nothing_leaks_full_protection(self):
+        config = nda_config(NDAPolicyName.FULL_PROTECTION)
+        for info in IMPLEMENTED:
+            assert not expected_leak(info, config)
+
+    def test_chosen_code_needs_load_restriction(self):
+        meltdown = by_name("meltdown")
+        for policy in (NDAPolicyName.PERMISSIVE, NDAPolicyName.STRICT_BR):
+            assert expected_leak(meltdown, nda_config(policy))
+        for policy in (NDAPolicyName.LOAD_RESTRICTION,
+                       NDAPolicyName.FULL_PROTECTION):
+            assert not expected_leak(meltdown, nda_config(policy))
+
+    def test_ssb_needs_bypass_restriction(self):
+        ssb = by_name("ssb")
+        assert expected_leak(ssb, nda_config(NDAPolicyName.PERMISSIVE))
+        assert expected_leak(ssb, nda_config(NDAPolicyName.STRICT))
+        assert not expected_leak(
+            ssb, nda_config(NDAPolicyName.PERMISSIVE_BR)
+        )
+        assert not expected_leak(
+            ssb, nda_config(NDAPolicyName.LOAD_RESTRICTION)
+        )
+
+    def test_gpr_needs_strict(self):
+        gpr = by_name("gpr_steering")
+        assert expected_leak(gpr, nda_config(NDAPolicyName.PERMISSIVE))
+        assert expected_leak(
+            gpr, nda_config(NDAPolicyName.LOAD_RESTRICTION)
+        )
+        assert not expected_leak(gpr, nda_config(NDAPolicyName.STRICT))
+
+    def test_invisispec_fails_on_btb_channel(self):
+        btb = by_name("spectre_v1_btb")
+        assert expected_leak(btb, invisispec_config(False))
+        assert expected_leak(btb, invisispec_config(True))
+
+    def test_invisispec_blocks_cache_steering(self):
+        v1 = by_name("spectre_v1_cache")
+        assert not expected_leak(v1, invisispec_config(False))
+        assert not expected_leak(v1, invisispec_config(True))
+
+    def test_invisispec_spectre_misses_chosen_code(self):
+        meltdown = by_name("meltdown")
+        assert expected_leak(meltdown, invisispec_config(False))
+        assert not expected_leak(meltdown, invisispec_config(True))
+
+    def test_every_nda_policy_blocks_btb_channel(self):
+        btb = by_name("spectre_v1_btb")
+        for policy in NDAPolicyName:
+            assert not expected_leak(btb, nda_config(policy))

@@ -1,0 +1,155 @@
+"""Tests for the synthetic SPEC-like workload generator and kernels."""
+
+import pytest
+
+from repro.isa.opcodes import Opcode
+from repro.isa.semantics import run_reference
+from repro.workloads.generator import generate_program, spec_program
+from repro.workloads.kernels import ALL_KERNELS
+from repro.workloads.profiles import (
+    DEFAULT_SUITE,
+    FPRATE,
+    INTRATE,
+    PROFILES,
+    BenchmarkProfile,
+    profile,
+)
+
+
+class TestProfiles:
+    def test_all_profiles_validate(self):
+        for prof in PROFILES.values():
+            prof.validate()
+
+    def test_suite_membership(self):
+        for name in DEFAULT_SUITE:
+            assert name in PROFILES
+        assert set(INTRATE) | set(FPRATE) == set(PROFILES)
+        assert not set(INTRATE) & set(FPRATE)
+
+    def test_paper_benchmarks_present(self):
+        for name in ("perlbench", "gcc", "mcf", "omnetpp", "xalancbmk",
+                     "x264", "deepsjeng", "leela", "exchange2", "xz",
+                     "bwaves", "lbm", "imagick", "nab", "fotonik3d"):
+            assert name in PROFILES
+
+    def test_lookup_unknown_raises(self):
+        with pytest.raises(KeyError, match="unknown benchmark"):
+            profile("spec_nothing")
+
+    def test_character_expectations(self):
+        assert PROFILES["mcf"].chase_frac > PROFILES["lbm"].chase_frac
+        assert PROFILES["lbm"].stream_frac > PROFILES["leela"].stream_frac
+        assert PROFILES["leela"].branch_bias < PROFILES["lbm"].branch_bias
+        assert PROFILES["bwaves"].fp_frac > 0
+        assert PROFILES["mcf"].fp_frac == 0
+
+    def test_invalid_profile_rejected(self):
+        with pytest.raises(ValueError):
+            BenchmarkProfile(
+                name="bad", suite="intrate",
+                load_frac=0.5, store_frac=0.5, fp_frac=0.2, mul_frac=0,
+                div_frac=0, branch_frac=0, call_frac=0,
+                working_set_bytes=1024, chase_frac=0, hot_frac=0,
+                stream_frac=0, branch_bias=0.9, indirect_call_frac=0,
+                body_size=100,
+            ).validate()
+
+
+class TestGenerator:
+    def test_deterministic_per_seed(self):
+        first = spec_program("leela", 3_000, seed=5)
+        second = spec_program("leela", 3_000, seed=5)
+        assert len(first) == len(second)
+        assert all(
+            a.op is b.op and a.imm == b.imm and a.srcs == b.srcs
+            for a, b in zip(first.instrs, second.instrs)
+        )
+
+    def test_different_seeds_differ(self):
+        first = spec_program("leela", 3_000, seed=0)
+        second = spec_program("leela", 3_000, seed=1)
+        different = any(
+            a.op is not b.op or a.imm != b.imm
+            for a, b in zip(first.instrs, second.instrs)
+        )
+        assert different or len(first) != len(second)
+
+    def test_programs_terminate_architecturally(self):
+        program = spec_program("deepsjeng", 3_000, seed=2)
+        state = run_reference(program, max_steps=2_000_000)
+        assert state.halted
+
+    def test_dynamic_length_close_to_target(self):
+        target = 5_000
+        program = spec_program("x264", target, seed=0)
+        state = run_reference(program, max_steps=2_000_000)
+        assert 0.3 * target <= state.committed <= 3 * target
+
+    def test_mix_roughly_respected(self):
+        prof = profile("lbm")
+        program = generate_program(prof, 4_000, seed=0)
+        ops = [i.op for i in program.instrs]
+        loads = sum(op in (Opcode.LOAD, Opcode.LOADB) for op in ops)
+        fps = sum(op in (Opcode.FADD, Opcode.FMUL, Opcode.FDIV)
+                  for op in ops)
+        total = len(ops)
+        assert loads / total > 0.1  # lbm is load-heavy
+        assert fps / total > 0.1  # and FP-heavy
+
+    def test_branchy_profile_emits_branches(self):
+        program = spec_program("leela", 4_000, seed=0)
+        branches = sum(
+            1 for i in program.instrs if i.info.is_conditional
+        )
+        assert branches > 20
+
+    def test_indirect_calls_present_for_omnetpp(self):
+        program = spec_program("omnetpp", 4_000, seed=0)
+        assert any(i.op is Opcode.CALLR for i in program.instrs)
+
+    def test_chase_table_initialized(self):
+        from repro.workloads.generator import CHASE_BASE
+        program = spec_program("mcf", 3_000, seed=0)
+        assert any(addr >= CHASE_BASE for addr in program.data)
+
+    def test_no_privileged_ranges(self):
+        program = spec_program("gcc", 2_000, seed=0)
+        assert not program.privileged
+
+
+class TestKernels:
+    @pytest.mark.parametrize("name", sorted(ALL_KERNELS))
+    def test_kernels_run_to_completion(self, name):
+        kernel = ALL_KERNELS[name](200)
+        state = run_reference(kernel, max_steps=1_000_000)
+        assert state.halted
+
+    def test_pointer_chase_is_serial(self):
+        from repro.config import baseline_ooo
+        from repro.core.ooo import run_program
+        from repro.workloads.kernels import pointer_chase, wide_alu
+        chase = run_program(pointer_chase(300, 512), baseline_ooo())
+        wide = run_program(wide_alu(300), baseline_ooo())
+        assert chase.cpi > wide.cpi
+
+    def test_streaming_has_mlp(self):
+        from repro.config import baseline_ooo
+        from repro.core.ooo import run_program
+        from repro.workloads.kernels import streaming
+        outcome = run_program(streaming(300), baseline_ooo())
+        assert outcome.stats.mlp > 1.5
+
+    def test_mispredict_heavy_mispredicts(self):
+        from repro.config import baseline_ooo
+        from repro.core.ooo import run_program
+        from repro.workloads.kernels import mispredict_heavy
+        outcome = run_program(mispredict_heavy(500), baseline_ooo())
+        assert outcome.stats.mispredict_rate > 0.1
+
+    def test_store_load_aliasing_violates(self):
+        from repro.config import baseline_ooo
+        from repro.core.ooo import run_program
+        from repro.workloads.kernels import store_load_aliasing
+        outcome = run_program(store_load_aliasing(300), baseline_ooo())
+        assert outcome.stats.memory_violations > 0
