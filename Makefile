@@ -1,0 +1,19 @@
+PYTHON ?= python
+export PYTHONPATH := src
+
+.PHONY: test bench-smoke bench cache-clear
+
+test:
+	$(PYTHON) -m pytest -x -q
+
+# Tiny end-to-end sweep through the parallel engine (mirrors CI).
+bench-smoke:
+	$(PYTHON) -m repro.cli bench --benchmarks exchange2 leela \
+		--samples 1 --warmup 500 --measure 2000 --jobs 2
+
+# Full figure/table regeneration (writes under results/).
+bench:
+	$(PYTHON) -m pytest benchmarks/ --benchmark-only
+
+cache-clear:
+	$(PYTHON) -m repro.cli cache clear

@@ -11,7 +11,7 @@ from repro.config import (
     baseline_ooo,
     nda_config,
 )
-from repro.core.ooo import run_program
+from repro.api import simulate
 from repro.stats.report import render_table
 from repro.workloads.kernels import (
     dependence_chain,
@@ -48,7 +48,7 @@ def _sweep():
     for kernel_name, make in KERNELS:
         program = make()
         for config_label, config in CONFIGS:
-            outcome = run_program(program, config)
+            outcome = simulate(program, config)
             table[(kernel_name, config_label)] = outcome
     return table
 

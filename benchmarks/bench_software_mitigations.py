@@ -20,7 +20,7 @@ from repro.attacks.common import (
 )
 from repro.attacks.ssb import attack_guesses
 from repro.config import NDAPolicyName, baseline_ooo, nda_config
-from repro.core.ooo import run_program
+from repro.api import simulate
 from repro.mitigations import harden_lfence, static_overhead
 from repro.stats.report import render_table
 from repro.workloads.generator import generate_program
@@ -37,9 +37,9 @@ def _sweep():
         prof = drep(profile(bench), indirect_call_frac=0.0)
         program = generate_program(prof, 5_000, seed=0)
         hardened = harden_lfence(program)
-        base = run_program(program, baseline_ooo()).stats.cycles
-        fenced = run_program(hardened, baseline_ooo()).stats.cycles
-        nda = run_program(
+        base = simulate(program, baseline_ooo()).stats.cycles
+        fenced = simulate(hardened, baseline_ooo()).stats.cycles
+        nda = simulate(
             program, nda_config(NDAPolicyName.PERMISSIVE)
         ).stats.cycles
         rows.append({

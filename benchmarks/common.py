@@ -1,12 +1,15 @@
 """Shared helpers for the figure/table regeneration benchmarks.
 
 One SMARTS sweep over the full configuration matrix powers Fig. 7,
-Fig. 9a-9d, and Table 2, so it is computed once per session.  Environment
-knobs (for quick runs):
+Fig. 9a-9d, and Table 2, so it is computed once per session (and served
+from the engine's on-disk cache across sessions).  Environment knobs
+(for quick runs):
 
     REPRO_BENCH_BENCHMARKS   comma-separated benchmark names
     REPRO_BENCH_SAMPLES      SMARTS samples per (benchmark, config)
     REPRO_BENCH_MEASURE      measured instructions per sample
+    REPRO_BENCH_JOBS         engine worker processes (default: cpu count)
+    REPRO_BENCH_CACHE        0 disables the on-disk result cache
     REPRO_FULL_GUESSES       guess-sweep size for the attack figures
 
 Rendered artifacts are printed and also written to ``results/``.
@@ -16,6 +19,7 @@ from __future__ import annotations
 
 import os
 from pathlib import Path
+from typing import Optional
 
 from repro.workloads.profiles import DEFAULT_SUITE
 
@@ -42,6 +46,17 @@ def bench_samples() -> int:
 
 def bench_measure() -> int:
     return _env_int("REPRO_BENCH_MEASURE", 6_000)
+
+
+def bench_jobs() -> Optional[int]:
+    """Engine worker count; None lets the engine use os.cpu_count()."""
+    value = _env_int("REPRO_BENCH_JOBS", 0)
+    return value if value > 0 else None
+
+
+def bench_cache() -> bool:
+    """Whether the sweep may use the on-disk result cache."""
+    return os.environ.get("REPRO_BENCH_CACHE", "1") != "0"
 
 
 def attack_guess_count() -> int:

@@ -11,9 +11,8 @@ from repro import (
     NDAPolicyName,
     baseline_ooo,
     nda_config,
-    run_inorder,
-    run_program,
     run_reference,
+    simulate,
 )
 from repro.isa.assembler import Assembler
 from repro.isa.registers import R0, R1, R2, R3, R4, R5, R6, R7
@@ -55,12 +54,12 @@ def main() -> None:
     assert reference.regs[R4] == expected
 
     for label, runner in [
-        ("OoO", lambda: run_program(program, baseline_ooo())),
-        ("NDA strict", lambda: run_program(
+        ("OoO", lambda: simulate(program, baseline_ooo())),
+        ("NDA strict", lambda: simulate(
             program, nda_config(NDAPolicyName.STRICT))),
-        ("NDA full", lambda: run_program(
+        ("NDA full", lambda: simulate(
             program, nda_config(NDAPolicyName.FULL_PROTECTION))),
-        ("In-order", lambda: run_inorder(program)),
+        ("In-order", lambda: simulate(program, in_order=True)),
     ]:
         outcome = runner()
         assert outcome.reg(R4) == expected, label

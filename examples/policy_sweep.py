@@ -11,8 +11,7 @@ from repro import (
     baseline_ooo,
     invisispec_config,
     nda_config,
-    run_inorder,
-    run_program,
+    simulate,
 )
 from repro.nda.policy import policy_for
 from repro.workloads import spec_program
@@ -44,7 +43,7 @@ def main() -> None:
     }
 
     baselines = {
-        bench: run_program(programs[bench], baseline_ooo()).cpi
+        bench: simulate(programs[bench], baseline_ooo()).cpi
         for bench in BENCHMARKS
     }
 
@@ -65,7 +64,7 @@ def main() -> None:
     for label, policy, config in configs:
         row = "%-20s" % label
         for bench in BENCHMARKS:
-            cpi = run_program(programs[bench], config).cpi
+            cpi = simulate(programs[bench], config).cpi
             row += " %6.2f (%4.0f%%)" % (
                 cpi, (cpi / baselines[bench] - 1) * 100
             )
@@ -74,7 +73,7 @@ def main() -> None:
 
     row = "%-20s" % "In-Order"
     for bench in BENCHMARKS:
-        cpi = run_inorder(programs[bench]).cpi
+        cpi = simulate(programs[bench], in_order=True).cpi
         row += " %6.2f (%4.0f%%)" % (cpi, (cpi / baselines[bench] - 1) * 100)
     row += "  %-28s" % "everything (no speculation)"
     print(row)

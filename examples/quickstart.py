@@ -11,8 +11,7 @@ from repro import (
     NDAPolicyName,
     baseline_ooo,
     nda_config,
-    run_inorder,
-    run_program,
+    simulate,
 )
 from repro.harness import render_table3
 from repro.workloads import spec_program
@@ -28,17 +27,17 @@ def main() -> None:
     print()
 
     rows = []
-    baseline = run_program(program, baseline_ooo())
+    baseline = simulate(program, baseline_ooo())
     rows.append(("OoO (insecure)", baseline))
     rows.append((
         "NDA permissive",
-        run_program(program, nda_config(NDAPolicyName.PERMISSIVE)),
+        simulate(program, nda_config(NDAPolicyName.PERMISSIVE)),
     ))
     rows.append((
         "NDA full protection",
-        run_program(program, nda_config(NDAPolicyName.FULL_PROTECTION)),
+        simulate(program, nda_config(NDAPolicyName.FULL_PROTECTION)),
     ))
-    rows.append(("In-order", run_inorder(program)))
+    rows.append(("In-order", simulate(program, in_order=True)))
 
     print("%-22s %10s %10s %12s" % ("configuration", "cycles", "CPI",
                                     "vs OoO"))

@@ -10,17 +10,27 @@ regenerates every table and figure of the paper's evaluation.
 
 Quick start::
 
-    from repro import baseline_ooo, nda, NDAPolicyName, run_program
+    from repro import NDAPolicyName, baseline_ooo, nda_config, simulate
     from repro.workloads import spec_program
 
     program = spec_program("mcf", instructions=20_000, seed=1)
-    insecure = run_program(program, baseline_ooo())
-    protected = run_program(program, nda_config(NDAPolicyName.PERMISSIVE))
+    insecure = simulate(program, baseline_ooo())
+    protected = simulate(program, nda_config(NDAPolicyName.PERMISSIVE))
     print(insecure.cpi, protected.cpi)
+
+Full sweeps (every figure/table of the paper) go through the parallel
+suite engine::
+
+    from repro import run_suite
+
+    suite = run_suite(jobs=8, cache=True)   # fan out + on-disk cache
+    print(suite.engine.describe())
 """
 
+from repro.api import simulate
 from repro.config import (
     CacheConfig,
+    ConfigSpec,
     CoreConfig,
     MemConfig,
     NDAPolicyName,
@@ -28,6 +38,7 @@ from repro.config import (
     SimConfig,
     all_figure7_configs,
     baseline_ooo,
+    config_registry,
     invisispec_config,
     nda_config,
     with_nda_delay,
@@ -39,6 +50,8 @@ from repro.core import (
     run_inorder,
     run_program,
 )
+from repro.engine import ResultCache
+from repro.harness.experiment import SuiteResult, run_suite
 from repro.errors import (
     AssemblyError,
     ConfigError,
@@ -51,7 +64,9 @@ from repro.isa import Assembler, Opcode, Program, run_reference
 __version__ = "1.0.0"
 
 __all__ = [
+    "simulate",
     "CacheConfig",
+    "ConfigSpec",
     "CoreConfig",
     "MemConfig",
     "NDAPolicyName",
@@ -59,9 +74,13 @@ __all__ = [
     "SimConfig",
     "all_figure7_configs",
     "baseline_ooo",
+    "config_registry",
     "invisispec_config",
     "nda_config",
     "with_nda_delay",
+    "ResultCache",
+    "SuiteResult",
+    "run_suite",
     "InOrderCore",
     "OutOfOrderCore",
     "RunOutcome",

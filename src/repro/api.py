@@ -1,0 +1,55 @@
+"""The one-call simulation facade.
+
+:func:`simulate` subsumes the historical ``run_program`` (out-of-order)
+and ``run_inorder`` (in-order baseline) split: callers pick the core with
+the ``in_order`` keyword instead of picking a function.  The old names
+remain as thin deprecation shims.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Union
+
+from repro.config import SimConfig
+from repro.core.inorder import InOrderCore
+from repro.core.ooo import OutOfOrderCore
+from repro.core.outcome import RunOutcome
+from repro.isa.program import Program
+
+#: Default cycle budgets per core class (the in-order core needs more
+#: cycles for the same instruction count).
+_DEFAULT_MAX_CYCLES_OOO = 5_000_000
+_DEFAULT_MAX_CYCLES_INORDER = 50_000_000
+
+
+def simulate(
+    program: Program,
+    config: Optional[SimConfig] = None,
+    *,
+    in_order: bool = False,
+    max_cycles: Optional[int] = None,
+    direction_predictor: str = "tournament",
+) -> RunOutcome:
+    """Run *program* to completion on the configured machine.
+
+    This is the canonical entry point for single-program simulation:
+
+    >>> outcome = simulate(program, nda_config(NDAPolicyName.STRICT))
+    >>> baseline = simulate(program, in_order=True)
+
+    ``in_order=True`` selects the serial timing core (the paper's
+    TimingSimpleCPU analog), which ignores ``direction_predictor``.
+    ``max_cycles`` defaults to a per-core budget (5M cycles out-of-order,
+    50M in-order).
+    """
+    if in_order:
+        core: Union[InOrderCore, OutOfOrderCore] = InOrderCore(
+            program, config
+        )
+        budget = max_cycles or _DEFAULT_MAX_CYCLES_INORDER
+    else:
+        core = OutOfOrderCore(
+            program, config, direction_predictor=direction_predictor
+        )
+        budget = max_cycles or _DEFAULT_MAX_CYCLES_OOO
+    return core.run(max_cycles=budget)

@@ -5,8 +5,14 @@ Subcommands::
     nda-repro table3                 # print the simulated machine
     nda-repro attack spectre_v1 --config permissive
     nda-repro matrix                 # full security matrix (Tables 1/2)
-    nda-repro bench --benchmarks mcf leela --samples 2
+    nda-repro bench --benchmarks mcf leela --samples 2 --jobs 4
     nda-repro figure 4|7|8|9a|9b|9c|9d|9e
+    nda-repro config ooo             # describe one configuration
+    nda-repro cache info|clear       # inspect/drop the result cache
+
+Sweeps (``bench``/``figure``) run on the parallel suite engine and cache
+windows under ``results/.cache/``; use ``--jobs N`` to size the worker
+pool and ``--no-cache`` to force re-simulation.
 """
 
 from __future__ import annotations
@@ -16,12 +22,8 @@ import sys
 from typing import List, Optional
 
 from repro.attacks.taxonomy import IMPLEMENTED
-from repro.config import (
-    NDAPolicyName,
-    baseline_ooo,
-    invisispec_config,
-    nda_config,
-)
+from repro.config import config_registry
+from repro.engine import ResultCache
 from repro.harness import (
     render_figure4,
     render_figure7,
@@ -40,20 +42,31 @@ from repro.harness import (
 from repro.harness.figures import figure4, figure8, figure9e
 from repro.workloads.profiles import DEFAULT_SUITE, PROFILES
 
-_CONFIGS = {
-    "ooo": lambda: (baseline_ooo(), False),
-    "permissive": lambda: (nda_config(NDAPolicyName.PERMISSIVE), False),
-    "permissive+br": lambda: (nda_config(NDAPolicyName.PERMISSIVE_BR), False),
-    "strict": lambda: (nda_config(NDAPolicyName.STRICT), False),
-    "strict+br": lambda: (nda_config(NDAPolicyName.STRICT_BR), False),
-    "restricted-loads": lambda: (
-        nda_config(NDAPolicyName.LOAD_RESTRICTION), False),
-    "full-protection": lambda: (
-        nda_config(NDAPolicyName.FULL_PROTECTION), False),
-    "invisispec-spectre": lambda: (invisispec_config(False), False),
-    "invisispec-future": lambda: (invisispec_config(True), False),
-    "in-order": lambda: (baseline_ooo(), True),
-}
+_CONFIG_NAMES = sorted(config_registry())
+
+
+def _add_engine_args(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--jobs", type=int, default=None, metavar="N",
+        help="worker processes for the sweep (default: cpu count)",
+    )
+    parser.add_argument(
+        "--no-cache", action="store_true",
+        help="ignore and do not write the on-disk result cache",
+    )
+    parser.add_argument(
+        "--cache-dir", default=None, metavar="DIR",
+        help="result cache location (default: results/.cache, "
+             "or $REPRO_CACHE_DIR)",
+    )
+
+
+def _engine_kwargs(args) -> dict:
+    return {
+        "jobs": args.jobs,
+        "cache": not args.no_cache,
+        "cache_dir": None if args.no_cache else args.cache_dir,
+    }
 
 
 def _build_parser() -> argparse.ArgumentParser:
@@ -70,7 +83,7 @@ def _build_parser() -> argparse.ArgumentParser:
         "name", choices=sorted({info.name for info in IMPLEMENTED})
     )
     attack.add_argument(
-        "--config", default="ooo", choices=sorted(_CONFIGS)
+        "--config", default="ooo", choices=_CONFIG_NAMES
     )
     attack.add_argument("--secret", type=int, default=42)
     attack.add_argument("--guesses", type=int, default=64)
@@ -88,6 +101,18 @@ def _build_parser() -> argparse.ArgumentParser:
     bench.add_argument("--samples", type=int, default=3)
     bench.add_argument("--warmup", type=int, default=2000)
     bench.add_argument("--measure", type=int, default=8000)
+    _add_engine_args(bench)
+
+    config_cmd = sub.add_parser(
+        "config", help="describe one named configuration"
+    )
+    config_cmd.add_argument("name", choices=_CONFIG_NAMES)
+
+    cache_cmd = sub.add_parser(
+        "cache", help="inspect or clear the on-disk result cache"
+    )
+    cache_cmd.add_argument("action", choices=["info", "clear"])
+    cache_cmd.add_argument("--cache-dir", default=None, metavar="DIR")
 
     trace = sub.add_parser(
         "trace", help="pipeline trace of a micro-kernel (ASCII chart)"
@@ -96,7 +121,7 @@ def _build_parser() -> argparse.ArgumentParser:
         __import__("repro.workloads.kernels", fromlist=["ALL_KERNELS"])
         .ALL_KERNELS
     ))
-    trace.add_argument("--config", default="ooo", choices=sorted(_CONFIGS))
+    trace.add_argument("--config", default="ooo", choices=_CONFIG_NAMES)
     trace.add_argument("--instructions", type=int, default=60)
     trace.add_argument("--width", type=int, default=80)
 
@@ -106,6 +131,7 @@ def _build_parser() -> argparse.ArgumentParser:
     )
     figure.add_argument("--benchmarks", nargs="*", default=None)
     figure.add_argument("--samples", type=int, default=3)
+    _add_engine_args(figure)
 
     return parser
 
@@ -117,9 +143,27 @@ def main(argv: Optional[List[str]] = None) -> int:
         print(render_table3())
         return 0
 
+    if args.command == "config":
+        spec = config_registry()[args.name]
+        print(spec.config.describe())
+        if spec.in_order:
+            print("  core class: in-order (TimingSimpleCPU analog)")
+        return 0
+
+    if args.command == "cache":
+        cache = ResultCache(args.cache_dir)
+        if args.action == "clear":
+            removed = cache.clear()
+            print("removed %d cached windows from %s" % (removed, cache.root))
+        else:
+            print("cache dir: %s" % cache.root)
+            print("entries:   %d" % cache.size())
+        return 0
+
     if args.command == "attack":
         info = next(i for i in IMPLEMENTED if i.name == args.name)
-        config, in_order = _CONFIGS[args.config]()
+        spec = config_registry()[args.config]
+        config, in_order = spec.config, spec.in_order
         from repro.attacks.common import default_guesses
         guesses = default_guesses(args.secret, args.guesses)
         outcome = info.module.run(
@@ -145,7 +189,10 @@ def main(argv: Optional[List[str]] = None) -> int:
             warmup=args.warmup,
             measure=args.measure,
             verbose=True,
+            **_engine_kwargs(args),
         )
+        print("engine: %s" % suite.engine.describe())
+        print()
         print(render_figure7(suite))
         print()
         print(render_table2(table2(suite)))
@@ -155,7 +202,8 @@ def main(argv: Optional[List[str]] = None) -> int:
         from repro.core.ooo import OutOfOrderCore
         from repro.debug import PipelineTracer
         from repro.workloads.kernels import ALL_KERNELS
-        config, in_order = _CONFIGS[args.config]()
+        spec = config_registry()[args.config]
+        config, in_order = spec.config, spec.in_order
         if in_order:
             print("trace requires an out-of-order configuration")
             return 2
@@ -183,10 +231,21 @@ def _figure(args) -> int:
     if args.which == "8":
         print(render_figure8(figure8()))
         return 0
+    engine_kwargs = _engine_kwargs(args)
     if args.which == "9e":
-        print(render_figure9e(figure9e(benchmarks=benchmarks)))
+        print(render_figure9e(figure9e(
+            benchmarks=benchmarks,
+            jobs=engine_kwargs["jobs"],
+            cache=(
+                ResultCache(engine_kwargs["cache_dir"])
+                if engine_kwargs["cache"] else False
+            ),
+        )))
         return 0
-    suite = run_suite(benchmarks=benchmarks, samples=args.samples)
+    suite = run_suite(
+        benchmarks=benchmarks, samples=args.samples, **engine_kwargs
+    )
+    print("engine: %s" % suite.engine.describe())
     if args.which == "7":
         print(render_figure7(suite))
     elif args.which == "9a":

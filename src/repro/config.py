@@ -10,7 +10,10 @@ round trip, and 50 ns DRAM (100 cycles at 2 GHz).
 from __future__ import annotations
 
 import enum
-from dataclasses import dataclass, field, replace
+import hashlib
+import json
+from dataclasses import asdict, dataclass, field, replace
+from typing import Dict, Iterator, List, Tuple
 
 from repro.errors import ConfigError
 
@@ -226,6 +229,73 @@ class SimConfig:
             return "InvisiSpec-Spectre"
         return "InvisiSpec-Future"
 
+    def to_dict(self) -> dict:
+        """Nested plain-dict form (enums become their string values)."""
+
+        def convert(obj):
+            if isinstance(obj, enum.Enum):
+                return obj.value
+            if isinstance(obj, dict):
+                return {key: convert(value) for key, value in obj.items()}
+            if isinstance(obj, (list, tuple)):
+                return [convert(item) for item in obj]
+            return obj
+
+        return convert(asdict(self))
+
+    def cache_key(self) -> str:
+        """Stable content hash of the complete machine description.
+
+        Two ``SimConfig`` instances have equal keys iff every field (core,
+        memory, scheme, policy, flags) is equal, so the key is safe to use
+        for on-disk result caching.  The key only covers the configuration;
+        the engine's cache additionally mixes in the workload and sampling
+        parameters plus the code version.
+        """
+        payload = json.dumps(self.to_dict(), sort_keys=True)
+        return hashlib.sha256(payload.encode("utf-8")).hexdigest()
+
+    def describe(self) -> str:
+        """Multi-line human-readable description of this machine."""
+        lines = [
+            "config: %s (scheme=%s)" % (self.label(), self.scheme.value),
+        ]
+        if self.scheme is ProtectionScheme.NDA:
+            lines.append("  nda policy: %s" % self.nda_policy.value)
+            if self.core.nda_broadcast_delay:
+                lines.append(
+                    "  nda broadcast delay: %d cycles"
+                    % self.core.nda_broadcast_delay
+                )
+        core = self.core
+        mem = self.mem
+        lines.append(
+            "  core: %d-issue OoO, %d ROB, %d IQ, %d/%d LQ/SQ, "
+            "%d phys regs" % (
+                core.issue_width, core.rob_entries, core.iq_entries,
+                core.lq_entries, core.sq_entries, core.phys_regs,
+            )
+        )
+        lines.append(
+            "  frontend: %d-wide fetch, %d-entry BTB, %d-entry RAS, "
+            "depth %d" % (
+                core.fetch_width, core.btb_entries, core.ras_entries,
+                core.frontend_depth,
+            )
+        )
+        lines.append(
+            "  memory: L1 %dkB/%d-way %dc, L2 %dkB/%d-way %dc, "
+            "DRAM %dc, %d MSHRs" % (
+                mem.l1d.size_bytes // 1024, mem.l1d.assoc,
+                mem.l1d.round_trip_cycles,
+                mem.l2.size_bytes // 1024, mem.l2.assoc,
+                mem.l2.round_trip_cycles,
+                mem.dram_cycles, mem.mshrs,
+            )
+        )
+        lines.append("  cache key: %s" % self.cache_key()[:16])
+        return "\n".join(lines)
+
 
 def baseline_ooo() -> SimConfig:
     """The unconstrained (insecure) OoO baseline."""
@@ -250,20 +320,80 @@ def invisispec_config(future: bool = False) -> SimConfig:
     return SimConfig(scheme=scheme).validate()
 
 
-def all_figure7_configs() -> "list[tuple[str, SimConfig]]":
+@dataclass(frozen=True)
+class ConfigSpec:
+    """One named entry of the configuration sweep.
+
+    Replaces the old ``(label, config, in_order)`` tuple; ``name`` is the
+    CLI/registry key (kebab-case), ``label`` the paper's legend text.
+    Iteration and indexing keep legacy tuple-unpacking call sites working.
+    """
+
+    label: str
+    config: SimConfig
+    in_order: bool = False
+    name: str = ""
+
+    def __iter__(self) -> Iterator:
+        # Legacy order: (label, config, in_order).
+        yield self.label
+        yield self.config
+        yield self.in_order
+
+    def __getitem__(self, index):
+        return (self.label, self.config, self.in_order)[index]
+
+    def __len__(self) -> int:
+        return 3
+
+    @classmethod
+    def coerce(cls, spec) -> "ConfigSpec":
+        """Accept a ConfigSpec or a legacy (label, config, in_order) tuple."""
+        if isinstance(spec, cls):
+            return spec
+        label, config, in_order = spec
+        return cls(label=label, config=config, in_order=bool(in_order))
+
+
+def config_registry() -> "Dict[str, ConfigSpec]":
+    """Canonical name -> :class:`ConfigSpec` map for every configuration.
+
+    This is the single source of truth shared by the CLI ``--config``
+    choices, ``figure7_config_specs()``, and the benchmarks.  Insertion
+    order is the paper's Fig. 7 legend order (In-Order sits between the
+    NDA policies and InvisiSpec), so ``list(config_registry().values())``
+    is directly usable as a sweep.
+    """
+    registry: Dict[str, ConfigSpec] = {}
+
+    def add(name: str, config: SimConfig, in_order: bool = False,
+            label: str = "") -> None:
+        registry[name] = ConfigSpec(
+            label=label or config.label(), config=config,
+            in_order=in_order, name=name,
+        )
+
+    add("ooo", baseline_ooo())
+    for policy in NDAPolicyName:
+        add(policy.value, nda_config(policy))
+    add("in-order", baseline_ooo(), in_order=True, label="In-Order")
+    add("invisispec-spectre", invisispec_config(False))
+    add("invisispec-future", invisispec_config(True))
+    return registry
+
+
+def all_figure7_configs() -> "List[Tuple[str, SimConfig]]":
     """The ten (label, config) pairs evaluated in Fig. 7 of the paper.
 
     The in-order baseline is created by the harness (it uses a different
     core class), so this list covers the eight pipelined OoO configs plus
     the two InvisiSpec variants; label "In-Order" is appended by callers.
     """
-    configs = [("OoO", baseline_ooo())]
-    for policy in NDAPolicyName:
-        cfg = nda_config(policy)
-        configs.append((cfg.label(), cfg))
-    configs.append(("InvisiSpec-Spectre", invisispec_config(False)))
-    configs.append(("InvisiSpec-Future", invisispec_config(True)))
-    return configs
+    return [
+        (spec.label, spec.config)
+        for spec in config_registry().values()
+        if not spec.in_order
+    ]
 
 
 def with_nda_delay(config: SimConfig, delay: int) -> SimConfig:

@@ -210,5 +210,14 @@ def run_inorder(
     config: Optional[SimConfig] = None,
     max_cycles: int = 50_000_000,
 ) -> RunOutcome:
-    """Run *program* on the in-order baseline."""
-    return InOrderCore(program, config).run(max_cycles=max_cycles)
+    """Deprecated shim: use :func:`repro.simulate` with ``in_order=True``."""
+    import warnings
+
+    from repro.api import simulate
+
+    warnings.warn(
+        "run_inorder() is deprecated; use "
+        "repro.simulate(program, config, in_order=True)",
+        DeprecationWarning, stacklevel=2,
+    )
+    return simulate(program, config, in_order=True, max_cycles=max_cycles)

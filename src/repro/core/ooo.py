@@ -689,8 +689,16 @@ def run_program(
     max_cycles: int = 5_000_000,
     direction_predictor: str = "tournament",
 ) -> RunOutcome:
-    """Build a core for *program* under *config* and run it to completion."""
-    core = OutOfOrderCore(
-        program, config, direction_predictor=direction_predictor
+    """Deprecated shim: use :func:`repro.simulate` instead."""
+    import warnings
+
+    from repro.api import simulate
+
+    warnings.warn(
+        "run_program() is deprecated; use repro.simulate(program, config)",
+        DeprecationWarning, stacklevel=2,
     )
-    return core.run(max_cycles=max_cycles)
+    return simulate(
+        program, config, max_cycles=max_cycles,
+        direction_predictor=direction_predictor,
+    )

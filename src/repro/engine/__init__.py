@@ -1,0 +1,46 @@
+"""Parallel suite engine: job expansion, result caching, scheduling.
+
+The engine turns a sweep (benchmarks x configurations x samples) into
+independent, deterministic jobs, serves repeats from a content-addressed
+on-disk cache, and fans the rest out over a process pool.  See
+``repro.harness.experiment.run_suite`` for the high-level entry point
+that reassembles the jobs into a :class:`SuiteResult`.
+"""
+
+from repro.engine.cache import (
+    CACHE_SCHEMA,
+    CacheStats,
+    ResultCache,
+    default_cache_dir,
+    job_cache_key,
+)
+from repro.engine.jobs import (
+    JobResult,
+    SimJob,
+    derive_seed,
+    execute_job,
+    expand_jobs,
+)
+from repro.engine.scheduler import (
+    EngineStats,
+    JobFailure,
+    resolve_workers,
+    run_jobs,
+)
+
+__all__ = [
+    "CACHE_SCHEMA",
+    "CacheStats",
+    "ResultCache",
+    "default_cache_dir",
+    "job_cache_key",
+    "JobResult",
+    "SimJob",
+    "derive_seed",
+    "execute_job",
+    "expand_jobs",
+    "EngineStats",
+    "JobFailure",
+    "resolve_workers",
+    "run_jobs",
+]

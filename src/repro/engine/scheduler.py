@@ -1,0 +1,200 @@
+"""Job scheduler: fan a sweep's jobs out over a process pool.
+
+The scheduler owns no simulation logic — it takes the independent
+:class:`~repro.engine.jobs.SimJob` list produced by ``expand_jobs`` and
+decides *where* each job runs:
+
+* cache first — jobs whose window is already on disk never execute;
+* then a ``ProcessPoolExecutor`` (``jobs`` workers, default
+  ``os.cpu_count()``) when more than one worker is requested and the
+  platform supports ``fork``;
+* a deterministic in-process serial path for ``jobs=1``, for platforms
+  without ``fork``, and as the degrade target when the pool breaks.
+
+A job that dies in a worker is retried once serially in the parent
+(worker crashes and pool transport errors must not kill a sweep); a job
+that also fails serially is reported as a :class:`JobFailure` rather
+than raised, so the caller decides whether partial results are usable.
+Results are returned in submission order regardless of completion order.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import os
+import time
+from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
+
+from repro.engine.cache import ResultCache
+from repro.engine.jobs import JobResult, SimJob, execute_job
+
+#: progress callback: (jobs finished so far, total jobs, latest result).
+ProgressFn = Callable[[int, int, JobResult], None]
+
+
+@dataclass
+class JobFailure:
+    """One job that failed both in a worker and on the serial retry."""
+
+    job: SimJob
+    error: str
+
+
+@dataclass
+class EngineStats:
+    """Accounting for one engine run (exposed as ``SuiteResult.engine``)."""
+
+    jobs: int = 0
+    executed: int = 0
+    cache_hits: int = 0
+    cache_misses: int = 0
+    stores: int = 0
+    retries: int = 0
+    failures: int = 0
+    workers: int = 1
+    degraded: bool = False
+    wall_seconds: float = 0.0
+    sim_seconds: float = 0.0
+    job_seconds: Dict[Tuple[str, str, int], float] = field(
+        default_factory=dict
+    )
+
+    def describe(self) -> str:
+        parts = [
+            "%d jobs" % self.jobs,
+            "%d executed" % self.executed,
+            "%d cache hits" % self.cache_hits,
+            "%d workers" % self.workers,
+            "%.2fs wall" % self.wall_seconds,
+        ]
+        if self.retries:
+            parts.append("%d retried" % self.retries)
+        if self.failures:
+            parts.append("%d FAILED" % self.failures)
+        if self.degraded:
+            parts.append("degraded to serial")
+        return ", ".join(parts)
+
+
+def resolve_workers(jobs: Optional[int], pending: int) -> int:
+    """Effective worker count: explicit > cpu_count, capped by work."""
+    if jobs is None:
+        jobs = os.cpu_count() or 1
+    jobs = max(1, int(jobs))
+    if jobs > 1 and "fork" not in multiprocessing.get_all_start_methods():
+        # No fork (e.g. some embedded interpreters): deterministic serial
+        # fallback rather than paying spawn's re-import cost per worker.
+        jobs = 1
+    return max(1, min(jobs, pending))
+
+
+def run_jobs(
+    jobs_list: Sequence[SimJob],
+    *,
+    jobs: Optional[int] = None,
+    cache: Optional[ResultCache] = None,
+    progress: Optional[ProgressFn] = None,
+    executor_factory: Optional[Callable[..., ProcessPoolExecutor]] = None,
+) -> Tuple[List[JobResult], List[JobFailure], EngineStats]:
+    """Execute every job; returns (results, failures, stats).
+
+    ``results`` preserves the order of ``jobs_list`` (failed jobs are
+    omitted and listed in ``failures`` instead).
+    """
+    start_wall = time.perf_counter()
+    stats = EngineStats(jobs=len(jobs_list))
+    slots: List[Optional[JobResult]] = [None] * len(jobs_list)
+    failures: List[JobFailure] = []
+    done_count = 0
+
+    def finish(index: int, result: JobResult) -> None:
+        nonlocal done_count
+        slots[index] = result
+        done_count += 1
+        stats.sim_seconds += result.elapsed
+        stats.job_seconds[result.job.coordinates] = result.elapsed
+        if not result.from_cache:
+            stats.executed += 1
+            if cache is not None:
+                cache.store(result.job, result.window)
+        if progress is not None:
+            progress(done_count, len(jobs_list), result)
+
+    def fail(job: SimJob, index: int, error: BaseException) -> None:
+        nonlocal done_count
+        done_count += 1
+        failures.append(JobFailure(job=job, error=repr(error)))
+        stats.failures += 1
+        if progress is not None:
+            progress(done_count, len(jobs_list), None)
+
+    # Phase 1: serve whatever the cache already has.
+    pending: List[Tuple[int, SimJob]] = []
+    for index, job in enumerate(jobs_list):
+        window = cache.load(job) if cache is not None else None
+        if window is not None:
+            finish(index, JobResult(job=job, window=window, from_cache=True))
+        else:
+            pending.append((index, job))
+    if cache is not None:
+        stats.cache_hits = cache.stats.hits
+        stats.cache_misses = cache.stats.misses
+
+    # Phase 2: execute the misses, in parallel when asked to.
+    workers = resolve_workers(jobs, len(pending))
+    stats.workers = workers
+
+    def run_serially(index: int, job: SimJob, retried: bool) -> None:
+        if retried:
+            stats.retries += 1
+        try:
+            result = execute_job(job)
+        except BaseException as error:  # deterministic job failure
+            fail(job, index, error)
+            return
+        result.retried = retried
+        finish(index, result)
+
+    if workers > 1 and pending:
+        factory = executor_factory or ProcessPoolExecutor
+        remaining = list(pending)
+        try:
+            context = multiprocessing.get_context("fork")
+            with factory(max_workers=workers, mp_context=context) as pool:
+                future_to_job = {
+                    pool.submit(execute_job, job): (index, job)
+                    for index, job in pending
+                }
+                not_done = set(future_to_job)
+                while not_done:
+                    finished, not_done = wait(
+                        not_done, return_when=FIRST_COMPLETED
+                    )
+                    for future in finished:
+                        index, job = future_to_job[future]
+                        remaining.remove((index, job))
+                        error = future.exception()
+                        if error is not None:
+                            # Worker died or the job raised: one serial
+                            # retry in the parent, then give up on it.
+                            run_serially(index, job, retried=True)
+                        else:
+                            finish(index, future.result())
+        except BaseException:
+            # The pool itself broke (fork refused, transport error,
+            # keyboard interrupt inside shutdown...): degrade to serial
+            # for everything still unaccounted for.
+            stats.degraded = True
+            for index, job in list(remaining):
+                run_serially(index, job, retried=True)
+    else:
+        for index, job in pending:
+            run_serially(index, job, retried=False)
+
+    if cache is not None:
+        stats.stores = cache.stats.stores
+    stats.wall_seconds = time.perf_counter() - start_wall
+    results = [slot for slot in slots if slot is not None]
+    return results, failures, stats

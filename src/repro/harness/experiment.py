@@ -8,30 +8,29 @@ are all views over a single :class:`SuiteResult`.
 
 from __future__ import annotations
 
-import math
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import Dict, List, Optional, Sequence, Tuple, Union
 
-from repro.config import SimConfig, all_figure7_configs, baseline_ooo
-from repro.stats.sampling import SampledRun, smarts_sample
-from repro.workloads.generator import spec_program
+from repro.config import ConfigSpec, config_registry
+from repro.engine.cache import ResultCache
+from repro.engine.jobs import expand_jobs
+from repro.engine.scheduler import EngineStats, ProgressFn, run_jobs
+from repro.errors import SimulationError
+from repro.stats.sampling import Sample, SampledRun
 from repro.workloads.profiles import DEFAULT_SUITE
 
 IN_ORDER_LABEL = "In-Order"
 BASELINE_LABEL = "OoO"
 
-# (label, config, runs_on_inorder_core)
-ConfigSpec = Tuple[str, SimConfig, bool]
-
 
 def figure7_config_specs() -> List[ConfigSpec]:
-    """The ten configurations of Fig. 7, in the paper's legend order."""
-    specs: List[ConfigSpec] = []
-    for label, config in all_figure7_configs():
-        specs.append((label, config, False))
-    # Insert In-Order after the NDA policies, as in the paper's legend.
-    specs.insert(7, (IN_ORDER_LABEL, baseline_ooo(), True))
-    return specs
+    """The ten configurations of Fig. 7, in the paper's legend order.
+
+    This is simply the canonical :func:`repro.config.config_registry`
+    sweep (the registry's insertion order *is* the legend order, with
+    In-Order between the NDA policies and InvisiSpec).
+    """
+    return list(config_registry().values())
 
 
 @dataclass
@@ -41,6 +40,8 @@ class SuiteResult:
     benchmarks: List[str]
     labels: List[str]
     runs: Dict[Tuple[str, str], SampledRun] = field(default_factory=dict)
+    # Filled in by run_suite(): job/cache/timing accounting of the sweep.
+    engine: Optional[EngineStats] = None
 
     def run(self, benchmark: str, label: str) -> SampledRun:
         return self.runs[(benchmark, label)]
@@ -170,30 +171,80 @@ def run_suite(
     instructions: int = 14_000,
     seed0: int = 0,
     verbose: bool = False,
+    jobs: Optional[int] = None,
+    cache: Union[bool, ResultCache, None] = False,
+    cache_dir=None,
+    progress: Optional[ProgressFn] = None,
 ) -> SuiteResult:
-    """Run the full sweep and return every sampled run."""
-    specs = list(configs) if configs is not None else figure7_config_specs()
+    """Run the full sweep and return every sampled run.
+
+    The sweep is expanded into independent ``(benchmark, config, sample)``
+    jobs and executed by the :mod:`repro.engine` scheduler:
+
+    * ``jobs`` — worker processes (default ``os.cpu_count()``; ``jobs=1``
+      runs serially in-process).  Results are identical either way.
+    * ``cache`` — ``True`` (or a :class:`ResultCache`) serves repeated
+      jobs from the on-disk cache under ``results/.cache/``; ``cache_dir``
+      overrides the location.
+    * ``progress`` — per-job callback ``(done, total, job_result)``.
+
+    Job/cache/timing accounting lands on ``result.engine``.
+    """
+    specs = (
+        [ConfigSpec.coerce(spec) for spec in configs]
+        if configs is not None else figure7_config_specs()
+    )
+    result_cache: Optional[ResultCache]
+    if isinstance(cache, ResultCache):
+        result_cache = cache
+    elif cache or cache_dir is not None:
+        result_cache = ResultCache(cache_dir)
+    else:
+        result_cache = None
+
+    job_list = expand_jobs(
+        benchmarks, specs, samples, warmup, measure, instructions, seed0
+    )
+    job_results, failures, engine_stats = run_jobs(
+        job_list, jobs=jobs, cache=result_cache, progress=progress
+    )
+    if failures:
+        raise SimulationError(
+            "%d of %d sweep jobs failed: %s" % (
+                len(failures), len(job_list),
+                "; ".join(
+                    "%s: %s" % (f.job.describe(), f.error)
+                    for f in failures[:5]
+                ),
+            )
+        )
+
+    # Reassemble windows into SampledRuns, exactly as the serial loop did.
+    windows: Dict[Tuple[str, str], List[Sample]] = {}
+    for job_result in job_results:
+        job = job_result.job
+        windows.setdefault((job.benchmark, job.label), []).append(
+            Sample(seed=job.seed, window=job_result.window)
+        )
     result = SuiteResult(
         benchmarks=list(benchmarks),
-        labels=[label for label, _, _ in specs],
+        labels=[spec.label for spec in specs],
+        engine=engine_stats,
     )
     for bench in benchmarks:
-        for label, config, in_order in specs:
-            run = smarts_sample(
-                lambda seed, b=bench: spec_program(b, instructions, seed),
-                config,
-                label=label,
-                benchmark=bench,
-                samples=samples,
-                warmup=warmup,
-                measure=measure,
-                in_order=in_order,
-                seed0=seed0,
+        for spec in specs:
+            cell = windows.get((bench, spec.label))
+            if not cell:
+                raise SimulationError(
+                    "no samples for (%s, %s)" % (bench, spec.label)
+                )
+            run = SampledRun(
+                label=spec.label, benchmark=bench, samples=cell
             )
-            result.runs[(bench, label)] = run
+            result.runs[(bench, spec.label)] = run
             if verbose:
                 print(
                     "  %-12s %-20s CPI %.3f +/- %.3f"
-                    % (bench, label, run.mean_cpi, run.ci95)
+                    % (bench, spec.label, run.mean_cpi, run.ci95)
                 )
     return result

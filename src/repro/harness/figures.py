@@ -13,6 +13,7 @@ from typing import Dict, List, Optional, Sequence
 from repro.attacks import spectre_btb, spectre_v1
 from repro.attacks.common import AttackOutcome
 from repro.config import (
+    ConfigSpec,
     NDAPolicyName,
     SimConfig,
     baseline_ooo,
@@ -251,12 +252,16 @@ def figure9e(
     warmup: int = 2_000,
     measure: int = 6_000,
     instructions: int = 12_000,
+    jobs: Optional[int] = None,
+    cache=False,
 ) -> Dict[str, float]:
     """Permissive-policy CPI (normalized to OoO) vs. extra wake-up delay."""
-    specs = [("OoO", baseline_ooo(), False)]
+    specs = [ConfigSpec("OoO", baseline_ooo())]
     for delay in delays:
         config = with_nda_delay(nda_config(NDAPolicyName.PERMISSIVE), delay)
-        specs.append(("Permissive, %d cycle delay" % delay, config, False))
+        specs.append(
+            ConfigSpec("Permissive, %d cycle delay" % delay, config)
+        )
     suite = run_suite(
         benchmarks=benchmarks,
         configs=specs,
@@ -264,6 +269,8 @@ def figure9e(
         warmup=warmup,
         measure=measure,
         instructions=instructions,
+        jobs=jobs,
+        cache=cache,
     )
     return {
         label: suite.mean_normalized_cpi(label)

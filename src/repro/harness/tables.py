@@ -6,11 +6,10 @@ from dataclasses import fields
 from typing import Dict, List, Optional, Sequence, Tuple
 
 from repro.attacks.taxonomy import IMPLEMENTED, AttackInfo, expected_leak
-from repro.config import SimConfig, baseline_ooo
+from repro.config import ConfigSpec, SimConfig, baseline_ooo
 from repro.harness.experiment import (
     BASELINE_LABEL,
     IN_ORDER_LABEL,
-    ConfigSpec,
     SuiteResult,
     figure7_config_specs,
 )
@@ -35,24 +34,27 @@ def table1_matrix(
     from repro.attacks.common import default_guesses
     from repro.attacks.ssb import attack_guesses
 
-    specs = list(configs) if configs is not None else figure7_config_specs()
+    specs = (
+        [ConfigSpec.coerce(spec) for spec in configs]
+        if configs is not None else figure7_config_specs()
+    )
     rows = []
     for info in IMPLEMENTED:
         if info.name == "ssb":
             guess_list = attack_guesses(42, guesses)
         else:
             guess_list = default_guesses(42, guesses)
-        for label, config, in_order in specs:
+        for spec in specs:
             outcome = info.module.run(
-                config, guesses=guess_list, in_order=in_order
+                spec.config, guesses=guess_list, in_order=spec.in_order
             )
             rows.append({
                 "attack": info.name,
                 "access_class": info.access_class,
                 "channel": info.channel,
-                "config": label,
+                "config": spec.label,
                 "leaked": outcome.leaked,
-                "expected": expected_leak(info, config, in_order),
+                "expected": expected_leak(info, spec.config, spec.in_order),
             })
     return rows
 

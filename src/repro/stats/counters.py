@@ -7,7 +7,7 @@ counters: CPI (Fig. 7), the four-way cycle breakdown (Fig. 9a), MLP and ILP
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass, field, fields
 from typing import Dict, List
 
 
@@ -116,6 +116,36 @@ class PipelineStats:
         return {
             name: count / total for name, count in self.cycle_class.items()
         }
+
+    def to_dict(self) -> Dict:
+        """JSON-serializable form (dict keys become strings)."""
+        out: Dict = {}
+        for info in fields(self):
+            value = getattr(self, info.name)
+            if isinstance(value, dict):
+                out[info.name] = {str(k): v for k, v in value.items()}
+            else:
+                out[info.name] = value
+        return out
+
+    @classmethod
+    def from_dict(cls, payload: Dict) -> "PipelineStats":
+        """Inverse of :meth:`to_dict`; integer dict keys are restored."""
+        stats = cls()
+        for info in fields(cls):
+            if info.name not in payload:
+                continue
+            value = payload[info.name]
+            if isinstance(value, dict):
+                restored = {}
+                for key, item in value.items():
+                    if isinstance(key, str) and key.lstrip("-").isdigit():
+                        key = int(key)
+                    restored[key] = item
+                setattr(stats, info.name, restored)
+            else:
+                setattr(stats, info.name, value)
+        return stats
 
     def summary(self) -> Dict[str, float]:
         """Flat dict of the headline metrics (used by reports and tests)."""

@@ -82,11 +82,11 @@ class TestRunOutcome:
 
 def test_quickstart_docstring_example_runs():
     """The package docstring's example must stay executable."""
-    from repro import NDAPolicyName, baseline_ooo, nda_config, run_program
+    from repro import NDAPolicyName, baseline_ooo, nda_config, simulate
     from repro.workloads import spec_program
 
     program = spec_program("mcf", instructions=1_500, seed=1)
-    insecure = run_program(program, baseline_ooo())
-    protected = run_program(program, nda_config(NDAPolicyName.PERMISSIVE))
+    insecure = simulate(program, baseline_ooo())
+    protected = simulate(program, nda_config(NDAPolicyName.PERMISSIVE))
     assert insecure.cpi > 0
     assert protected.cpi >= insecure.cpi * 0.95

@@ -48,12 +48,61 @@ def test_no_command_rejected():
         main([])
 
 
-def test_bench_tiny(capsys):
+def test_bench_tiny(capsys, tmp_path):
     code = main([
         "bench", "--benchmarks", "exchange2", "--samples", "2",
         "--warmup", "300", "--measure", "800",
+        "--cache-dir", str(tmp_path),
     ])
     assert code == 0
     out = capsys.readouterr().out
     assert "Figure 7" in out
     assert "Table 2" in out
+    assert "engine:" in out
+
+
+def test_bench_warm_cache_executes_nothing(capsys, tmp_path):
+    args = [
+        "bench", "--benchmarks", "exchange2", "--samples", "1",
+        "--warmup", "300", "--measure", "800", "--jobs", "2",
+        "--cache-dir", str(tmp_path),
+    ]
+    assert main(args) == 0
+    cold = capsys.readouterr().out
+    assert "0 cache hits" in cold
+    assert main(args) == 0
+    warm = capsys.readouterr().out
+    assert "0 executed" in warm
+
+
+def test_bench_no_cache_flag(capsys):
+    code = main([
+        "bench", "--benchmarks", "exchange2", "--samples", "1",
+        "--warmup", "300", "--measure", "800", "--no-cache",
+    ])
+    assert code == 0
+    assert "0 cache hits" in capsys.readouterr().out
+
+
+def test_config_describe(capsys):
+    assert main(["config", "strict"]) == 0
+    out = capsys.readouterr().out
+    assert "Strict" in out
+    assert "cache key" in out
+
+
+def test_cache_info_and_clear(capsys, tmp_path):
+    assert main(["cache", "info", "--cache-dir", str(tmp_path)]) == 0
+    assert "entries:   0" in capsys.readouterr().out
+    main([
+        "bench", "--benchmarks", "exchange2", "--samples", "1",
+        "--warmup", "300", "--measure", "800",
+        "--cache-dir", str(tmp_path),
+    ])
+    capsys.readouterr()
+    assert main(["cache", "info", "--cache-dir", str(tmp_path)]) == 0
+    assert "entries:   0" not in capsys.readouterr().out
+    assert main(["cache", "clear", "--cache-dir", str(tmp_path)]) == 0
+    assert "removed" in capsys.readouterr().out
+    assert main(["cache", "info", "--cache-dir", str(tmp_path)]) == 0
+    assert "entries:   0" in capsys.readouterr().out

@@ -2,7 +2,12 @@
 
 import pytest
 
-from repro.config import NDAPolicyName, baseline_ooo, nda_config
+from repro.config import (
+    ConfigSpec,
+    NDAPolicyName,
+    baseline_ooo,
+    nda_config,
+)
 from repro.harness.experiment import (
     BASELINE_LABEL,
     IN_ORDER_LABEL,
@@ -37,10 +42,10 @@ from repro.stats.counters import CycleClass
 @pytest.fixture(scope="module")
 def tiny_suite() -> SuiteResult:
     specs = [
-        ("OoO", baseline_ooo(), False),
-        ("Full Protection", nda_config(NDAPolicyName.FULL_PROTECTION),
-         False),
-        ("In-Order", baseline_ooo(), True),
+        ConfigSpec("OoO", baseline_ooo()),
+        ConfigSpec("Full Protection",
+                   nda_config(NDAPolicyName.FULL_PROTECTION)),
+        ConfigSpec("In-Order", baseline_ooo(), in_order=True),
     ]
     return run_suite(
         benchmarks=["exchange2", "leela"],
@@ -152,6 +157,9 @@ class TestTables:
     def test_figure7_specs_have_ten_configs(self):
         specs = figure7_config_specs()
         assert len(specs) == 10
+        assert specs[7].label == IN_ORDER_LABEL
+        assert specs[7].in_order
+        # Legacy positional access keeps working during the deprecation.
         assert specs[7][0] == IN_ORDER_LABEL
 
     def test_render_table1_from_synthetic_rows(self):

@@ -3,7 +3,8 @@
 import pytest
 
 from repro.config import baseline_ooo
-from repro.core.inorder import InOrderCore, run_inorder
+from repro.api import simulate
+from repro.core.inorder import InOrderCore
 from repro.isa.assembler import Assembler
 from repro.isa.registers import R0, R1, R2, R3, R4
 
@@ -14,7 +15,7 @@ def test_basic_arithmetic():
     asm.li(R2, 7)
     asm.mul(R3, R1, R2)
     asm.halt()
-    outcome = run_inorder(asm.build())
+    outcome = simulate(asm.build(), in_order=True)
     assert outcome.reg(R3) == 42
 
 
@@ -23,7 +24,7 @@ def test_cpi_at_least_one():
     for _ in range(50):
         asm.nop()
     asm.halt()
-    outcome = run_inorder(asm.build())
+    outcome = simulate(asm.build(), in_order=True)
     assert outcome.cpi >= 1.0
 
 
@@ -31,12 +32,12 @@ def test_memory_ops_pay_cache_latency():
     asm = Assembler()
     asm.load(R1, R0, 0x1000)
     asm.halt()
-    miss = run_inorder(asm.build())
+    miss = simulate(asm.build(), in_order=True)
     asm2 = Assembler()
     asm2.load(R1, R0, 0x1000)
     asm2.load(R2, R0, 0x1000)  # second access hits
     asm2.halt()
-    warm = run_inorder(asm2.build())
+    warm = simulate(asm2.build(), in_order=True)
     # The second load costs far less than the first.
     assert warm.stats.cycles - miss.stats.cycles < 40
 
@@ -61,7 +62,7 @@ def test_no_speculation_means_no_wrong_path():
 
 def test_serial_execution_ilp_capped_at_one():
     from repro.workloads.kernels import wide_alu
-    outcome = run_inorder(wide_alu(300))
+    outcome = simulate(wide_alu(300), in_order=True)
     assert 0 < outcome.stats.ilp <= 1.0
     assert outcome.stats.mlp <= 1.0
 
@@ -75,7 +76,7 @@ def test_fault_handling():
     asm.label("handler")
     asm.li(R2, 3)
     asm.halt()
-    outcome = run_inorder(asm.build())
+    outcome = simulate(asm.build(), in_order=True)
     assert outcome.reg(R2) == 3
     assert outcome.stats.faults == 1
 
@@ -110,13 +111,13 @@ def test_indirect_control_flow():
     asm.nop()
     asm.li(R2, 5)
     asm.halt()
-    outcome = run_inorder(asm.build())
+    outcome = simulate(asm.build(), in_order=True)
     assert outcome.reg(R2) == 5
 
 
 def test_cycle_classes_cover_all_cycles():
     from repro.workloads.kernels import mispredict_heavy
-    outcome = run_inorder(mispredict_heavy(200))
+    outcome = simulate(mispredict_heavy(200), in_order=True)
     assert sum(outcome.stats.cycle_class.values()) == outcome.stats.cycles
 
 
@@ -126,10 +127,10 @@ def test_max_cycles_raises_deadlock():
     asm.label("spin")
     asm.jmp("spin")
     with pytest.raises(DeadlockError):
-        run_inorder(asm.build(), max_cycles=500)
+        simulate(asm.build(), max_cycles=500, in_order=True)
 
 
 def test_label():
     asm = Assembler()
     asm.halt()
-    assert run_inorder(asm.build()).label == "In-Order"
+    assert simulate(asm.build(), in_order=True).label == "In-Order"

@@ -3,7 +3,8 @@
 import pytest
 
 from repro.config import baseline_ooo, invisispec_config
-from repro.core.ooo import OutOfOrderCore, run_program
+from repro.api import simulate
+from repro.core.ooo import OutOfOrderCore
 from repro.core.rob import ROB, DynInstr
 from repro.frontend.fetch import FetchedOp
 from repro.invisispec.policy import load_is_speculative, needs_validation
@@ -127,15 +128,15 @@ class TestInvisiSpecBehaviour:
     def test_future_costs_more_than_spectre(self):
         from repro.workloads.generator import spec_program
         program = spec_program("lbm", instructions=4_000, seed=1)
-        base = run_program(program, baseline_ooo()).stats.cycles
-        spectre = run_program(program, invisispec_config(False)).stats.cycles
-        future = run_program(program, invisispec_config(True)).stats.cycles
+        base = simulate(program, baseline_ooo()).stats.cycles
+        spectre = simulate(program, invisispec_config(False)).stats.cycles
+        future = simulate(program, invisispec_config(True)).stats.cycles
         assert base <= spectre <= future
 
     def test_validations_and_exposures_counted(self):
         from repro.workloads.generator import spec_program
         program = spec_program("mcf", instructions=2_000, seed=1)
-        outcome = run_program(program, invisispec_config(True))
+        outcome = simulate(program, invisispec_config(True))
         stats = outcome.stats
         assert stats.invisible_loads > 0
         assert stats.validations + stats.exposures > 0

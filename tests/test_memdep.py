@@ -6,7 +6,7 @@ import pytest
 
 from repro.config import CoreConfig, baseline_ooo
 from repro.core.memdep import AlwaysBypass, WaitTable, make_memdep
-from repro.core.ooo import run_program
+from repro.api import simulate
 from repro.errors import ConfigError
 
 
@@ -58,11 +58,11 @@ class TestPipelineIntegration:
     def _aliasing_outcomes(self):
         from repro.workloads.kernels import store_load_aliasing
         program = store_load_aliasing(600)
-        base = run_program(program, baseline_ooo())
+        base = simulate(program, baseline_ooo())
         config = replace(
             baseline_ooo(), core=CoreConfig(memdep="waittable")
         ).validate()
-        predicted = run_program(program, config)
+        predicted = simulate(program, config)
         return base, predicted
 
     def test_wait_table_reduces_violations(self):

@@ -13,7 +13,7 @@ from repro.attacks.common import (
     run_attack,
 )
 from repro.config import baseline_ooo
-from repro.core.ooo import run_program
+from repro.api import simulate
 from repro.errors import AssemblyError
 from repro.isa.assembler import Assembler
 from repro.isa.instruction import Instr
@@ -204,11 +204,11 @@ class TestLfencePass:
         from repro.workloads.profiles import profile
         prof = drep(profile("deepsjeng"), indirect_call_frac=0.0)
         program = generate_program(prof, 3_000, seed=0)
-        base = run_program(program, baseline_ooo()).stats.cycles
-        fenced = run_program(
+        base = simulate(program, baseline_ooo()).stats.cycles
+        fenced = simulate(
             harden_lfence(program), baseline_ooo()
         ).stats.cycles
-        nda_cycles = run_program(
+        nda_cycles = simulate(
             program, nda_config(NDAPolicyName.PERMISSIVE)
         ).stats.cycles
         lfence_overhead = fenced / base - 1

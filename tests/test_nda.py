@@ -3,7 +3,8 @@
 import pytest
 
 from repro.config import CoreConfig, NDAPolicyName, baseline_ooo, nda_config
-from repro.core.ooo import OutOfOrderCore, run_program
+from repro.api import simulate
+from repro.core.ooo import OutOfOrderCore
 from repro.core.rob import DynInstr
 from repro.frontend.fetch import FetchedOp
 from repro.isa.assembler import Assembler
@@ -264,14 +265,14 @@ class TestNDABehaviour:
 
     def test_strict_slower_than_baseline_behind_slow_branches(self):
         program = self._slow_branch_loop()
-        base = run_program(program, baseline_ooo())
-        strict = run_program(program, nda_config(NDAPolicyName.STRICT))
+        base = simulate(program, baseline_ooo())
+        strict = simulate(program, nda_config(NDAPolicyName.STRICT))
         assert strict.stats.cycles > base.stats.cycles
 
     def test_permissive_tracks_baseline_on_alu_chains(self):
         program = self._slow_branch_loop()
-        base = run_program(program, baseline_ooo())
-        permissive = run_program(
+        base = simulate(program, baseline_ooo())
+        permissive = simulate(
             program, nda_config(NDAPolicyName.PERMISSIVE)
         )
         # No loads: permissive marks nothing unsafe.
@@ -279,8 +280,8 @@ class TestNDABehaviour:
 
     def test_dispatch_to_issue_grows_with_strict(self):
         program = self._slow_branch_loop()
-        base = run_program(program, baseline_ooo())
-        strict = run_program(program, nda_config(NDAPolicyName.STRICT))
+        base = simulate(program, baseline_ooo())
+        strict = simulate(program, nda_config(NDAPolicyName.STRICT))
         assert strict.stats.mean_dispatch_to_issue > \
             base.stats.mean_dispatch_to_issue
 
@@ -298,8 +299,8 @@ class TestNDABehaviour:
         asm.bne(R1, R0, "loop")
         asm.halt()
         program = asm.build()
-        base = run_program(program, baseline_ooo())
-        restricted = run_program(
+        base = simulate(program, baseline_ooo())
+        restricted = simulate(
             program, nda_config(NDAPolicyName.LOAD_RESTRICTION)
         )
         assert restricted.stats.cycles > base.stats.cycles
@@ -313,7 +314,7 @@ class TestNDABehaviour:
                      NDAPolicyName.FULL_PROTECTION):
             config = baseline_ooo() if name is None else nda_config(name)
             label = "ooo" if name is None else name.value
-            cycles[label] = run_program(program, config).stats.cycles
+            cycles[label] = simulate(program, config).stats.cycles
         assert cycles["ooo"] <= cycles["permissive"]
         assert cycles["permissive"] <= cycles["strict"]
         assert cycles["strict"] <= cycles["full-protection"]
@@ -324,15 +325,15 @@ class TestNDABehaviour:
         program = mispredict_heavy(400)
         base_config = nda_config(NDAPolicyName.PERMISSIVE)
         delayed = with_nda_delay(base_config, 2)
-        fast = run_program(program, base_config)
-        slow = run_program(program, delayed)
+        fast = simulate(program, base_config)
+        slow = simulate(program, delayed)
         assert slow.stats.cycles >= fast.stats.cycles
 
     def test_nda_preserves_mlp_over_inorder(self):
-        from repro.core.inorder import run_inorder
+        from repro.api import simulate
         from repro.workloads.kernels import streaming
         program = streaming(400)
-        full = run_program(
+        full = simulate(
             program, nda_config(NDAPolicyName.FULL_PROTECTION)
         )
         assert full.stats.mlp > 1.0  # independent misses still overlap

@@ -3,14 +3,15 @@
 import pytest
 
 from repro.config import baseline_ooo
-from repro.core.ooo import OutOfOrderCore, run_program
+from repro.api import simulate
+from repro.core.ooo import OutOfOrderCore
 from repro.errors import DeadlockError
 from repro.isa.assembler import Assembler
 from repro.isa.registers import R0, R1, R2, R3, R4, R5, R6
 
 
 def run_asm(asm, config=None, **kwargs):
-    return run_program(asm.build(), config or baseline_ooo(), **kwargs)
+    return simulate(asm.build(), config or baseline_ooo(), **kwargs)
 
 
 class TestBasicExecution:

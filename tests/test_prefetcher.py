@@ -5,7 +5,7 @@ from dataclasses import replace
 import pytest
 
 from repro.config import MemConfig, baseline_ooo
-from repro.core.ooo import run_program
+from repro.api import simulate
 from repro.errors import ConfigError
 from repro.memory.hierarchy import MemoryHierarchy
 from repro.memory.prefetcher import (
@@ -115,11 +115,11 @@ class TestHierarchyIntegration:
     def test_streaming_kernel_speeds_up(self):
         from repro.workloads.kernels import streaming
         program = streaming(600)
-        base = run_program(program, baseline_ooo())
+        base = simulate(program, baseline_ooo())
         config = replace(
             baseline_ooo(), mem=MemConfig(prefetcher="stride", prefetch_degree=4)
         ).validate()
-        prefetched = run_program(program, config)
+        prefetched = simulate(program, config)
         assert prefetched.stats.cycles < base.stats.cycles
 
     def test_golden_equivalence_with_prefetcher(self):
@@ -129,7 +129,7 @@ class TestHierarchyIntegration:
         config = replace(
             baseline_ooo(), mem=MemConfig(prefetcher="nextline")
         ).validate()
-        outcome = run_program(program, config)
+        outcome = simulate(program, config)
         reference = run_reference(program, max_steps=2_000_000)
         assert outcome.state.regs == reference.regs
 

@@ -4,7 +4,8 @@ serializing ops, fences in branch shadows, deep misprediction chains."""
 import pytest
 
 from repro.config import NDAPolicyName, baseline_ooo, nda_config
-from repro.core.ooo import OutOfOrderCore, run_program
+from repro.api import simulate
+from repro.core.ooo import OutOfOrderCore
 from repro.isa.assembler import Assembler
 from repro.isa.registers import R0, R1, R2, R3, R4, R5, R6, R7
 
@@ -27,7 +28,7 @@ def test_fence_in_branch_shadow_does_not_deadlock():
     asm.fence()  # wrong-path fence blocks dispatch until squashed
     asm.li(R1, 2)
     asm.halt()
-    outcome = run_program(asm.build(), baseline_ooo())
+    outcome = simulate(asm.build(), baseline_ooo())
     assert outcome.reg(R1) == 1
 
 
@@ -41,7 +42,7 @@ def test_rdtsc_in_branch_shadow_does_not_deadlock():
     asm.rdtsc(R2)  # serializing op that never reaches the head
     asm.li(R1, 2)
     asm.halt()
-    outcome = run_program(asm.build(), baseline_ooo())
+    outcome = simulate(asm.build(), baseline_ooo())
     assert outcome.reg(R1) == 1
     assert outcome.reg(R2) == 0  # never architecturally executed
 
@@ -54,7 +55,7 @@ def test_halt_in_branch_shadow_does_not_halt():
     asm.halt()
     asm.label("wrongpath")
     asm.halt()  # wrong-path halt must be squashed, not honored
-    outcome = run_program(asm.build(), baseline_ooo())
+    outcome = simulate(asm.build(), baseline_ooo())
     assert outcome.reg(R1) == 1
 
 
@@ -73,7 +74,7 @@ def test_nested_mispredictions_recover():
     asm.label("inner_wrong")
     asm.li(R1, 30)
     asm.halt()
-    outcome = run_program(asm.build(), baseline_ooo())
+    outcome = simulate(asm.build(), baseline_ooo())
     assert outcome.reg(R1) == 10
 
 
@@ -95,7 +96,7 @@ def test_mispredict_chain_every_iteration():
     asm.subi(R1, R1, 1)
     asm.bne(R1, R0, "loop")
     asm.halt()
-    outcome = run_program(asm.build(), baseline_ooo(),
+    outcome = simulate(asm.build(), baseline_ooo(),
                           direction_predictor="bimodal")
     assert outcome.reg(R2) == 50
     assert outcome.reg(R5) == 50
@@ -112,7 +113,7 @@ def test_wrong_path_division_by_zero_is_harmless():
     asm.li(R6, 0)
     asm.div(R7, R4, R6)  # wrong-path div by zero: defined, no fault
     asm.halt()
-    outcome = run_program(asm.build(), baseline_ooo())
+    outcome = simulate(asm.build(), baseline_ooo())
     assert outcome.reg(R1) == 1
 
 
@@ -129,7 +130,7 @@ def test_squash_restores_rename_under_heavy_reuse():
     asm.label("end")
     asm.addi(R1, R1, 100)
     asm.halt()
-    outcome = run_program(asm.build(), baseline_ooo())
+    outcome = simulate(asm.build(), baseline_ooo())
     assert outcome.reg(R1) == 107
 
 
@@ -152,7 +153,7 @@ def test_back_to_back_violations():
     asm.subi(R1, R1, 1)
     asm.bne(R1, R0, "loop")
     asm.halt()
-    outcome = run_program(asm.build(), baseline_ooo())
+    outcome = simulate(asm.build(), baseline_ooo())
     # Architectural: each iteration stores (i + 1) then loads it back.
     assert outcome.reg(R7) == sum(i + 1 for i in range(6, 0, -1))
     assert outcome.stats.memory_violations >= 2
@@ -183,7 +184,7 @@ def test_nda_full_protection_with_all_edge_cases_composed():
     from repro.isa.semantics import run_reference
     program = asm.build()
     reference = run_reference(program)
-    outcome = run_program(
+    outcome = simulate(
         program, nda_config(NDAPolicyName.FULL_PROTECTION)
     )
     assert outcome.reg(R7) == reference.regs[R7]

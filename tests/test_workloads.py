@@ -127,29 +127,29 @@ class TestKernels:
 
     def test_pointer_chase_is_serial(self):
         from repro.config import baseline_ooo
-        from repro.core.ooo import run_program
+        from repro.api import simulate
         from repro.workloads.kernels import pointer_chase, wide_alu
-        chase = run_program(pointer_chase(300, 512), baseline_ooo())
-        wide = run_program(wide_alu(300), baseline_ooo())
+        chase = simulate(pointer_chase(300, 512), baseline_ooo())
+        wide = simulate(wide_alu(300), baseline_ooo())
         assert chase.cpi > wide.cpi
 
     def test_streaming_has_mlp(self):
         from repro.config import baseline_ooo
-        from repro.core.ooo import run_program
+        from repro.api import simulate
         from repro.workloads.kernels import streaming
-        outcome = run_program(streaming(300), baseline_ooo())
+        outcome = simulate(streaming(300), baseline_ooo())
         assert outcome.stats.mlp > 1.5
 
     def test_mispredict_heavy_mispredicts(self):
         from repro.config import baseline_ooo
-        from repro.core.ooo import run_program
+        from repro.api import simulate
         from repro.workloads.kernels import mispredict_heavy
-        outcome = run_program(mispredict_heavy(500), baseline_ooo())
+        outcome = simulate(mispredict_heavy(500), baseline_ooo())
         assert outcome.stats.mispredict_rate > 0.1
 
     def test_store_load_aliasing_violates(self):
         from repro.config import baseline_ooo
-        from repro.core.ooo import run_program
+        from repro.api import simulate
         from repro.workloads.kernels import store_load_aliasing
-        outcome = run_program(store_load_aliasing(300), baseline_ooo())
+        outcome = simulate(store_load_aliasing(300), baseline_ooo())
         assert outcome.stats.memory_violations > 0
