@@ -1,10 +1,16 @@
 PYTHON ?= python
 export PYTHONPATH := src
 
-.PHONY: test bench-smoke bench cache-clear
+.PHONY: test attack-smoke bench-smoke bench cache-clear
 
 test:
 	$(PYTHON) -m pytest -x -q
+
+# Quick security check: the attack matrix on the insecure baseline, one
+# NDA policy, and the registry-only FenceOnBranch scheme (mirrors CI).
+attack-smoke:
+	$(PYTHON) -m repro.cli matrix --guesses 16 \
+		--configs ooo strict fence-on-branch
 
 # Tiny end-to-end sweep through the parallel engine (mirrors CI).
 bench-smoke:

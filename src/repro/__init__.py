@@ -41,7 +41,14 @@ from repro.config import (
     config_registry,
     invisispec_config,
     nda_config,
+    scheme_config,
     with_nda_delay,
+)
+from repro.schemes import (
+    ProtectionModel,
+    SchemeParams,
+    register_scheme,
+    registered_schemes,
 )
 from repro.core import (
     InOrderCore,
@@ -77,7 +84,12 @@ __all__ = [
     "config_registry",
     "invisispec_config",
     "nda_config",
+    "scheme_config",
     "with_nda_delay",
+    "ProtectionModel",
+    "SchemeParams",
+    "register_scheme",
+    "registered_schemes",
     "ResultCache",
     "SuiteResult",
     "run_suite",

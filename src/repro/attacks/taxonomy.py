@@ -24,11 +24,7 @@ from repro.attacks import (
     spectre_v2,
     ssb,
 )
-from repro.config import (
-    NDAPolicyName,
-    ProtectionScheme,
-    SimConfig,
-)
+from repro.config import SimConfig
 
 
 @dataclass(frozen=True)
@@ -86,36 +82,15 @@ TABLE1_COVERAGE: Dict[str, str] = {
 
 def expected_leak(attack: AttackInfo, config: SimConfig,
                   in_order: bool = False) -> bool:
-    """Table 2 ground truth: does *attack* leak under *config*?"""
+    """Table 2 ground truth: does *attack* leak under *config*?
+
+    An in-order core never speculates; otherwise the question is
+    delegated to the protection model's ``expected_leak`` classmethod, so
+    a newly registered scheme ships its own security ground truth.
+    """
     if in_order:
         return False
-    scheme = config.scheme
-    if scheme is ProtectionScheme.NONE:
-        return True
-    if scheme is ProtectionScheme.NDA:
-        policy = config.nda_policy
-        if attack.access_class == "chosen-code":
-            # Only the load-restriction family blocks chosen-code attacks.
-            return policy not in (
-                NDAPolicyName.LOAD_RESTRICTION,
-                NDAPolicyName.FULL_PROTECTION,
-            )
-        if attack.name == "ssb":
-            # Bypass Restriction (or load restriction) is required.
-            return policy in (
-                NDAPolicyName.PERMISSIVE, NDAPolicyName.STRICT
-            )
-        if attack.name == "gpr_steering":
-            # Register-resident secrets need strict propagation (§4.2);
-            # permissive and load restriction leave GPRs exposed.
-            from repro.nda.policy import policy_for
-            return not policy_for(policy).protects_gprs
-        return False  # all other control-steering attacks: blocked
-    # InvisiSpec: blocks d-cache attacks within its threat model, never
-    # non-cache channels.
-    if attack.channel != "d-cache":
-        return True
-    future = scheme is ProtectionScheme.INVISISPEC_FUTURE
-    if attack.access_class == "chosen-code" or attack.name == "ssb":
-        return not future  # -Spectre's threat model is branches only
-    return False
+    from repro.schemes.registry import scheme_info
+
+    info = scheme_info(config.scheme)
+    return info.model.expected_leak(attack, config.scheme_params)

@@ -5,9 +5,11 @@ Subcommands::
     nda-repro table3                 # print the simulated machine
     nda-repro attack spectre_v1 --config permissive
     nda-repro matrix                 # full security matrix (Tables 1/2)
+    nda-repro matrix --configs ooo strict fence-on-branch   # subset
     nda-repro bench --benchmarks mcf leela --samples 2 --jobs 4
     nda-repro figure 4|7|8|9a|9b|9c|9d|9e
     nda-repro config ooo             # describe one configuration
+    nda-repro config list            # registered schemes + named configs
     nda-repro cache info|clear       # inspect/drop the result cache
 
 Sweeps (``bench``/``figure``) run on the parallel suite engine and cache
@@ -92,6 +94,12 @@ def _build_parser() -> argparse.ArgumentParser:
         "matrix", help="run every attack on every configuration"
     )
     matrix.add_argument("--guesses", type=int, default=32)
+    matrix.add_argument(
+        "--configs", nargs="*", default=None, choices=_CONFIG_NAMES,
+        metavar="NAME",
+        help="restrict the matrix to these configurations "
+             "(default: every registered one)",
+    )
 
     bench = sub.add_parser("bench", help="performance sweep (Fig 7/Table 2)")
     bench.add_argument(
@@ -104,9 +112,9 @@ def _build_parser() -> argparse.ArgumentParser:
     _add_engine_args(bench)
 
     config_cmd = sub.add_parser(
-        "config", help="describe one named configuration"
+        "config", help="describe one named configuration, or list them all"
     )
-    config_cmd.add_argument("name", choices=_CONFIG_NAMES)
+    config_cmd.add_argument("name", choices=["list"] + _CONFIG_NAMES)
 
     cache_cmd = sub.add_parser(
         "cache", help="inspect or clear the on-disk result cache"
@@ -144,6 +152,15 @@ def main(argv: Optional[List[str]] = None) -> int:
         return 0
 
     if args.command == "config":
+        if args.name == "list":
+            from repro.schemes import describe_schemes
+            print(describe_schemes())
+            print()
+            print("Named configurations (nda-repro config <name>):")
+            for name, spec in config_registry().items():
+                core = "in-order" if spec.in_order else "out-of-order"
+                print("  %-20s %-20s (%s)" % (name, spec.label, core))
+            return 0
         spec = config_registry()[args.name]
         print(spec.config.describe())
         if spec.in_order:
@@ -177,7 +194,11 @@ def main(argv: Optional[List[str]] = None) -> int:
         return 0 if not outcome.leaked else 1
 
     if args.command == "matrix":
-        rows = table1_matrix(guesses=args.guesses)
+        configs = None
+        if args.configs:
+            registry = config_registry()
+            configs = [registry[name] for name in args.configs]
+        rows = table1_matrix(configs=configs, guesses=args.guesses)
         print(render_table1(rows))
         mismatches = [r for r in rows if r["leaked"] != r["expected"]]
         return 1 if mismatches else 0

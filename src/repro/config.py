@@ -13,23 +13,32 @@ import enum
 import hashlib
 import json
 from dataclasses import asdict, dataclass, field, replace
-from typing import Dict, Iterator, List, Tuple
+from typing import Dict, Iterator, List, Optional, Tuple
 
 from repro.errors import ConfigError
 
 
 class ProtectionScheme(enum.Enum):
-    """Which speculation-control mechanism the core runs.
+    """Legacy enum for the original four scheme selections.
 
-    ``NDA`` covers all six rows of Table 2 (selected by ``NDAPolicyName``);
-    the InvisiSpec schemes model the comparison system; ``NONE`` is the
-    insecure baseline.
+    Deprecated: schemes are now identified by their registry name string
+    (see :mod:`repro.schemes`) plus a per-scheme parameter block.
+    ``SimConfig`` still accepts these enum members (and the legacy name
+    strings) and coerces them, so old call sites keep working.
     """
 
     NONE = "ooo"
     NDA = "nda"
     INVISISPEC_SPECTRE = "invisispec-spectre"
     INVISISPEC_FUTURE = "invisispec-future"
+
+
+#: Legacy scheme spellings -> (registry name, parameter overrides).
+_LEGACY_SCHEMES = {
+    "ooo": ("none", None),
+    "invisispec-spectre": ("invisispec", {"future": False}),
+    "invisispec-future": ("invisispec", {"future": True}),
+}
 
 
 class NDAPolicyName(enum.Enum):
@@ -192,12 +201,21 @@ class CoreConfig:
 
 @dataclass(frozen=True)
 class SimConfig:
-    """Complete machine description handed to a core."""
+    """Complete machine description handed to a core.
+
+    ``scheme`` is a registry name from :mod:`repro.schemes` ("none",
+    "nda", "invisispec", "fence-on-branch", or any scheme registered via
+    :func:`repro.schemes.register_scheme`); ``scheme_params`` is the
+    scheme's parameter dataclass (defaulted from the registry when
+    omitted).  Legacy :class:`ProtectionScheme` members and the old name
+    strings ("ooo", "invisispec-spectre", ...) are coerced on
+    construction.
+    """
 
     core: CoreConfig = field(default_factory=CoreConfig)
     mem: MemConfig = field(default_factory=MemConfig)
-    scheme: ProtectionScheme = ProtectionScheme.NONE
-    nda_policy: NDAPolicyName = NDAPolicyName.PERMISSIVE
+    scheme: str = "none"
+    scheme_params: Optional["SchemeParams"] = None
     privileged_mode: bool = False
     # Insecure-implementation flag: when True, faulting loads forward their
     # data to dependents before the fault squashes at commit (the Meltdown
@@ -205,29 +223,46 @@ class SimConfig:
     # fixed because load restriction makes it unexploitable.
     forward_faulting_loads: bool = True
 
+    def __post_init__(self) -> None:
+        scheme = self.scheme
+        if isinstance(scheme, ProtectionScheme):
+            scheme = scheme.value
+        scheme, overrides = _LEGACY_SCHEMES.get(scheme, (scheme, None))
+        params = self.scheme_params
+        if params is None:
+            from repro.schemes.registry import scheme_info
+
+            params = scheme_info(scheme).params(**(overrides or {}))
+        elif overrides:
+            params = replace(params, **overrides)
+        object.__setattr__(self, "scheme", scheme)
+        object.__setattr__(self, "scheme_params", params)
+
+    @property
+    def nda_policy(self) -> Optional[NDAPolicyName]:
+        """The Table 2 policy when ``scheme == "nda"``, else ``None``."""
+        return getattr(self.scheme_params, "policy", None)
+
     def validate(self) -> "SimConfig":
         self.core.validate()
         self.mem.validate()
-        if self.scheme is ProtectionScheme.NDA and self.nda_policy is None:
-            raise ConfigError("NDA scheme requires an nda_policy")
+        from repro.schemes.registry import scheme_info
+
+        info = scheme_info(self.scheme)
+        if not isinstance(self.scheme_params, info.params):
+            raise ConfigError(
+                "scheme %r expects %s parameters (got %s)" % (
+                    self.scheme, info.params.__name__,
+                    type(self.scheme_params).__name__,
+                )
+            )
         return self
 
     def label(self) -> str:
         """Human-readable configuration name used in reports."""
-        if self.scheme is ProtectionScheme.NONE:
-            return "OoO"
-        if self.scheme is ProtectionScheme.NDA:
-            return {
-                NDAPolicyName.PERMISSIVE: "Permissive",
-                NDAPolicyName.PERMISSIVE_BR: "Permissive+BR",
-                NDAPolicyName.STRICT: "Strict",
-                NDAPolicyName.STRICT_BR: "Strict+BR",
-                NDAPolicyName.LOAD_RESTRICTION: "Restricted Loads",
-                NDAPolicyName.FULL_PROTECTION: "Full Protection",
-            }[self.nda_policy]
-        if self.scheme is ProtectionScheme.INVISISPEC_SPECTRE:
-            return "InvisiSpec-Spectre"
-        return "InvisiSpec-Future"
+        from repro.schemes.registry import scheme_info
+
+        return scheme_info(self.scheme).model.label_for(self.scheme_params)
 
     def to_dict(self) -> dict:
         """Nested plain-dict form (enums become their string values)."""
@@ -247,10 +282,11 @@ class SimConfig:
         """Stable content hash of the complete machine description.
 
         Two ``SimConfig`` instances have equal keys iff every field (core,
-        memory, scheme, policy, flags) is equal, so the key is safe to use
-        for on-disk result caching.  The key only covers the configuration;
-        the engine's cache additionally mixes in the workload and sampling
-        parameters plus the code version.
+        memory, scheme name, the scheme's full parameter block, flags) is
+        equal, so the key is safe to use for on-disk result caching and two
+        schemes sharing core/mem settings can never alias.  The key only
+        covers the configuration; the engine's cache additionally mixes in
+        the workload and sampling parameters plus the code version.
         """
         payload = json.dumps(self.to_dict(), sort_keys=True)
         return hashlib.sha256(payload.encode("utf-8")).hexdigest()
@@ -258,9 +294,9 @@ class SimConfig:
     def describe(self) -> str:
         """Multi-line human-readable description of this machine."""
         lines = [
-            "config: %s (scheme=%s)" % (self.label(), self.scheme.value),
+            "config: %s (scheme=%s)" % (self.label(), self.scheme),
         ]
-        if self.scheme is ProtectionScheme.NDA:
+        if self.nda_policy is not None:
             lines.append("  nda policy: %s" % self.nda_policy.value)
             if self.core.nda_broadcast_delay:
                 lines.append(
@@ -304,20 +340,45 @@ def baseline_ooo() -> SimConfig:
 
 def nda_config(policy: NDAPolicyName, **core_overrides) -> SimConfig:
     """An NDA configuration with the given Table 2 policy."""
+    from repro.schemes.nda import NDAParams
+
+    if not isinstance(policy, NDAPolicyName):
+        policy = NDAPolicyName(policy)
     core = CoreConfig(**core_overrides) if core_overrides else CoreConfig()
     return SimConfig(
-        core=core, scheme=ProtectionScheme.NDA, nda_policy=policy
+        core=core, scheme="nda", scheme_params=NDAParams(policy=policy)
     ).validate()
 
 
 def invisispec_config(future: bool = False) -> SimConfig:
     """An InvisiSpec comparison configuration."""
-    scheme = (
-        ProtectionScheme.INVISISPEC_FUTURE
-        if future
-        else ProtectionScheme.INVISISPEC_SPECTRE
-    )
-    return SimConfig(scheme=scheme).validate()
+    from repro.schemes.invisispec import InvisiSpecParams
+
+    return SimConfig(
+        scheme="invisispec",
+        scheme_params=InvisiSpecParams(future=bool(future)),
+    ).validate()
+
+
+def scheme_config(name: str, **params) -> SimConfig:
+    """A configuration for any registered scheme, by registry name.
+
+    ``params`` override fields of the scheme's parameter dataclass::
+
+        scheme_config("fence-on-branch", fence_loads=False)
+
+    Legacy scheme spellings ("ooo", "invisispec-future", ...) are
+    accepted.
+    """
+    from repro.schemes.registry import scheme_info
+
+    scheme, overrides = _LEGACY_SCHEMES.get(name, (name, None))
+    merged = dict(overrides or {})
+    merged.update(params)
+    info = scheme_info(scheme)
+    return SimConfig(
+        scheme=scheme, scheme_params=info.params(**merged)
+    ).validate()
 
 
 @dataclass(frozen=True)
@@ -359,11 +420,17 @@ def config_registry() -> "Dict[str, ConfigSpec]":
     """Canonical name -> :class:`ConfigSpec` map for every configuration.
 
     This is the single source of truth shared by the CLI ``--config``
-    choices, ``figure7_config_specs()``, and the benchmarks.  Insertion
-    order is the paper's Fig. 7 legend order (In-Order sits between the
-    NDA policies and InvisiSpec), so ``list(config_registry().values())``
-    is directly usable as a sweep.
+    choices, ``figure7_config_specs()``, and the benchmarks.  It is
+    derived from the scheme registry (:mod:`repro.schemes`): each
+    registered scheme contributes its ``variants()`` presets, so newly
+    registered schemes appear here — and therefore in the CLI, the attack
+    matrix, and the sweeps — automatically.  Insertion order is the
+    paper's Fig. 7 legend order (In-Order sits between the NDA policies
+    and InvisiSpec; extra schemes append at the end), so
+    ``list(config_registry().values())`` is directly usable as a sweep.
     """
+    from repro.schemes.registry import registered_schemes
+
     registry: Dict[str, ConfigSpec] = {}
 
     def add(name: str, config: SimConfig, in_order: bool = False,
@@ -373,21 +440,24 @@ def config_registry() -> "Dict[str, ConfigSpec]":
             in_order=in_order, name=name,
         )
 
-    add("ooo", baseline_ooo())
-    for policy in NDAPolicyName:
-        add(policy.value, nda_config(policy))
-    add("in-order", baseline_ooo(), in_order=True, label="In-Order")
-    add("invisispec-spectre", invisispec_config(False))
-    add("invisispec-future", invisispec_config(True))
+    for scheme_name, info in registered_schemes().items():
+        for name, params in info.model.variants():
+            add(name, SimConfig(
+                scheme=scheme_name, scheme_params=params
+            ).validate())
+        if scheme_name == "nda":
+            # The in-order baseline is a different core class, not a
+            # scheme; the legend slots it between NDA and InvisiSpec.
+            add("in-order", baseline_ooo(), in_order=True, label="In-Order")
     return registry
 
 
 def all_figure7_configs() -> "List[Tuple[str, SimConfig]]":
-    """The ten (label, config) pairs evaluated in Fig. 7 of the paper.
+    """The (label, config) pairs evaluated in Fig. 7-style sweeps.
 
     The in-order baseline is created by the harness (it uses a different
-    core class), so this list covers the eight pipelined OoO configs plus
-    the two InvisiSpec variants; label "In-Order" is appended by callers.
+    core class), so this list covers every registered scheme variant on
+    the OoO pipeline; label "In-Order" is appended by callers.
     """
     return [
         (spec.label, spec.config)

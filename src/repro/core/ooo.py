@@ -6,17 +6,18 @@ broadcast, split load/store queues with store-to-load forwarding and
 speculative store bypass, branch prediction with squash-at-resolution, and
 a non-blocking cache hierarchy.
 
-Three protection schemes plug into the same pipeline:
-
-* ``NONE`` — the insecure baseline: broadcast at completion.
-* ``NDA`` — deferred broadcast per the active Table 2 policy (the paper's
-  contribution; see :mod:`repro.nda`).
-* ``INVISISPEC_*`` — speculative loads leave the caches untouched and
-  validate/expose at their visibility point (the comparison system).
+The pipeline itself is scheme-agnostic: every protection scheme (the
+insecure baseline, the six NDA policies, the InvisiSpec variants, the
+fence-style mitigations, and anything registered through
+:mod:`repro.schemes`) plugs in as a single
+:class:`~repro.schemes.ProtectionModel` object held in
+``self.protection``, consulted at the pipeline's decision points
+(broadcast gating, issue gating, load visibility, and the
+dispatch/resolve/squash/commit events).
 
 Stage order within a cycle (reverse pipeline order, standard for
-cycle-level models): writeback -> deferred broadcast -> InvisiSpec
-visibility -> load memory phase -> issue -> dispatch -> fetch -> commit.
+cycle-level models): writeback -> deferred broadcast -> load visibility
+-> load memory phase -> issue -> dispatch -> fetch -> commit.
 """
 
 from __future__ import annotations
@@ -25,11 +26,7 @@ import heapq
 from collections import deque
 from typing import Deque, List, Optional, Tuple
 
-from repro.config import (
-    NDAPolicyName,
-    ProtectionScheme,
-    SimConfig,
-)
+from repro.config import SimConfig
 from repro.core.fu import FUPool
 from repro.core.issue_queue import IssueQueue
 from repro.core.lsq import LSQ, LoadAction
@@ -41,17 +38,14 @@ from repro.errors import DeadlockError, SimulationError
 from repro.frontend.btb import BTB
 from repro.frontend.direction import make_direction_predictor
 from repro.frontend.fetch import FetchedOp, FetchUnit
-from repro.frontend.ras import RAS
 from repro.isa.opcodes import Opcode
 from repro.isa.program import Program
 from repro.isa.registers import NUM_ARCH_REGS, R0
 from repro.isa.semantics import MachineState, branch_taken, eval_alu
 from repro.memory.hierarchy import MemoryHierarchy
 from repro.memory.memory import MainMemory, U64_MASK
-from repro.invisispec.policy import load_is_speculative, needs_validation
-from repro.nda.broadcast import BroadcastArbiter
-from repro.nda.policy import policy_for
-from repro.nda.safety import SafetyTracker
+from repro.frontend.ras import RAS
+from repro.schemes.registry import make_protection
 from repro.stats.counters import CycleClass, PipelineStats
 
 
@@ -94,31 +88,19 @@ class OutOfOrderCore:
         self.fus = FUPool(core)
         self.memdep = make_memdep(core.memdep)
 
-        scheme = self.config.scheme
-        policy = None
-        if scheme is ProtectionScheme.NDA:
-            policy = policy_for(self.config.nda_policy)
-        self.policy = policy
-        self.safety = SafetyTracker(policy)
-        self.arbiter = BroadcastArbiter(
-            core.issue_width, core.nda_broadcast_delay
-        )
-        self.invisispec = scheme in (
-            ProtectionScheme.INVISISPEC_SPECTRE,
-            ProtectionScheme.INVISISPEC_FUTURE,
-        )
-        self.is_future = scheme is ProtectionScheme.INVISISPEC_FUTURE
-
         self.cycle = 0
         self.halted = False
         self.committed = 0
         self.stats = PipelineStats()
 
+        # The one protection-scheme object; every scheme-sensitive
+        # decision in the pipeline below delegates to it.
+        self.protection = make_protection(self)
+
         self._next_seq = 0
         self._fetch_buffer: Deque[FetchedOp] = deque()
         self._completions: List[Tuple[int, int, DynInstr]] = []
         self._pending_mem: List[Tuple[int, DynInstr]] = []
-        self._is_pending: List[DynInstr] = []
         self._fence_seq: Optional[int] = None
         self._ports_used = 0
         self._issued_this_cycle = 0
@@ -146,6 +128,7 @@ class OutOfOrderCore:
                 )
         self.stats.cycles = self.cycle
         self.stats.committed = self.committed
+        self.protection.finalize_stats(self.stats)
         return RunOutcome(
             state=self.arch_state(),
             stats=self.stats,
@@ -161,8 +144,7 @@ class OutOfOrderCore:
 
         self._writeback(now)
         self._drain_broadcasts(now)
-        if self.invisispec:
-            self._invisispec_visibility(now)
+        self.protection.load_visibility_phase(now)
         self._mem_phase(now)
         self._issue(now)
         self._dispatch(now)
@@ -248,7 +230,7 @@ class OutOfOrderCore:
         head_seq = head.seq if head is not None else None
         if (
             self._ports_used < self.config.core.issue_width
-            and self.safety.is_safe(entry, head_seq)
+            and self.protection.may_broadcast(entry, head_seq)
         ):
             # Safe at completion: the normal wake-up path, no NDA logic
             # latency involved (only *deferred* wake-ups pay the Fig 9e
@@ -256,7 +238,7 @@ class OutOfOrderCore:
             self._broadcast(entry, now)
             self._ports_used += 1
         else:
-            self.arbiter.defer(entry)
+            self.protection.defer_broadcast(entry)
 
     def _broadcast(self, entry: DynInstr, now: int) -> None:
         self.prf.mark_ready(entry.phys_dest)
@@ -267,15 +249,12 @@ class OutOfOrderCore:
     def _drain_broadcasts(self, now: int) -> None:
         head = self.rob.head
         head_seq = head.seq if head is not None else None
-        done = self.arbiter.drain(
+        self._ports_used += self.protection.drain_deferred(
             now,
             self._ports_used,
-            lambda e: self.safety.is_safe(e, head_seq),
+            head_seq,
             lambda e: self._broadcast(e, now),
         )
-        self._ports_used += done
-        self.stats.deferred_broadcasts = self.arbiter.deferred_broadcasts
-        self.stats.broadcast_port_conflicts = self.arbiter.port_conflicts
 
     # ------------------------------------------------------------------ #
     # Branch resolution.
@@ -311,7 +290,7 @@ class OutOfOrderCore:
         entry.resolved = True
         entry.actual_taken = taken
         entry.actual_next_pc = actual
-        self.safety.on_branch_resolved(entry)
+        self.protection.on_branch_resolved(entry)
         self.stats.branches_resolved += 1
 
         if entry.fetched.unpredicted:
@@ -339,7 +318,7 @@ class OutOfOrderCore:
         if not self.config.privileged_mode and \
                 self.program.is_privileged_addr(entry.addr):
             entry.fault = "user store to %#x" % entry.addr
-        self.safety.on_store_resolved(entry)
+        self.protection.on_store_resolved(entry)
         victim = self.lsq.check_violation(entry)
         if victim is not None:
             self.stats.memory_violations += 1
@@ -365,11 +344,10 @@ class OutOfOrderCore:
                 self.rat.rollback(
                     entry.instr.rd, entry.phys_dest, entry.prev_phys
                 )
-            self.safety.on_squash(entry)
+            self.protection.on_squash(entry)
         self.iq.remove_squashed()
         self.lsq.remove_squashed()
-        self.arbiter.remove_squashed()
-        self._is_pending = [e for e in self._is_pending if not e.squashed]
+        self.protection.after_squash()
         self._pending_mem = [
             (c, e) for c, e in self._pending_mem if not e.squashed
         ]
@@ -383,33 +361,6 @@ class OutOfOrderCore:
         if self.tracer is not None:
             for entry in removed:
                 self.tracer.squashed(entry, self.cycle)
-
-    # ================================================================== #
-    # InvisiSpec visibility.
-    # ================================================================== #
-
-    def _load_speculative(self, entry: DynInstr) -> bool:
-        """Is this load still speculative under the InvisiSpec threat model?"""
-        return load_is_speculative(
-            entry, self.rob, self.safety, self.is_future
-        )
-
-    def _invisispec_visibility(self, now: int) -> None:
-        still_pending: List[DynInstr] = []
-        for entry in self._is_pending:
-            if entry.squashed:
-                continue  # squashed invisible loads expose nothing
-            if self._load_speculative(entry):
-                still_pending.append(entry)
-                continue
-            # Visibility point reached: validate (blocking) or expose.
-            result = self.hierarchy.expose_fill(entry.addr, now)
-            if entry.needs_validation:
-                entry.retire_ready = now + result.latency
-                self.stats.validations += 1
-            else:
-                self.stats.exposures += 1
-        self._is_pending = still_pending
 
     # ================================================================== #
     # Load memory phase.
@@ -453,17 +404,12 @@ class OutOfOrderCore:
             dcache_used += 1
             entry.data_obtained = True
             entry.bypassed_stores = decision.bypassed_stores or None
-            invisible = self.invisispec and self._load_speculative(entry)
+            invisible = self.protection.load_executes_invisibly(entry)
             result = self.hierarchy.data_access(
                 entry.addr, now, fill=not invisible, pc=entry.pc
             )
             if invisible:
-                entry.invisible = True
-                entry.needs_validation = needs_validation(
-                    entry, result.l1_hit, self.lsq.loads
-                )
-                self._is_pending.append(entry)
-                self.stats.invisible_loads += 1
+                self.protection.on_invisible_load(entry, result, now)
             value = self._load_value(entry)
             self._finish_load(entry, value, now, latency=result.latency)
 
@@ -492,9 +438,9 @@ class OutOfOrderCore:
     # ================================================================== #
 
     def _may_issue(self, entry: DynInstr, now: int) -> bool:
-        if entry.instr.info.is_serializing:
-            return self.rob.head is entry
-        return True
+        if entry.instr.info.is_serializing and self.rob.head is not entry:
+            return False
+        return self.protection.may_issue(entry, now)
 
     def _issue(self, now: int) -> None:
         width = self.config.core.issue_width
@@ -553,7 +499,7 @@ class OutOfOrderCore:
             self.rob.push(entry)
             self.iq.insert(entry)
             self.lsq.dispatch(entry)
-            self.safety.on_dispatch(entry)
+            self.protection.on_dispatch(entry)
             if instr.info.is_serializing:
                 # FENCE (speculation barrier) and RDTSC (rdtscp-like
                 # measurement fence) block dispatch until they commit.
@@ -620,6 +566,7 @@ class OutOfOrderCore:
             self.stats.record_dispatch_to_issue(
                 head.issue_cycle - head.dispatch_cycle
             )
+        self.protection.on_commit(head, now)
         if self.tracer is not None:
             self.tracer.retired(head, now)
 

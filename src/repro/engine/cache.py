@@ -28,7 +28,9 @@ from repro.stats.counters import PipelineStats
 
 #: Bump to invalidate every cached window after a change to the simulator
 #: that alters results without changing any SimConfig field.
-CACHE_SCHEMA = 1
+#: Schema 2: scheme registry refactor (string scheme names + per-scheme
+#: parameter blocks folded into SimConfig.cache_key()).
+CACHE_SCHEMA = 2
 
 
 def _code_version() -> str:
@@ -46,6 +48,10 @@ def job_cache_key(job: SimJob) -> str:
     payload = json.dumps({
         "code": _code_version(),
         "config": job.config.cache_key(),
+        # The scheme name is already inside config.cache_key(); naming it
+        # here keeps scheme collisions impossible even if a future
+        # SimConfig refactor drops it from to_dict().
+        "scheme": job.config.scheme,
         "in_order": job.in_order,
         "benchmark": job.benchmark,
         "instructions": job.instructions,

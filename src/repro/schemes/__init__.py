@@ -1,0 +1,52 @@
+"""Pluggable speculative-execution protection schemes.
+
+The :class:`ProtectionModel` interface captures the pipeline's
+scheme-sensitive decision points; the registry maps kebab-case names to
+model + parameter classes.  Importing this package registers the built-in
+schemes in the paper's legend order:
+
+* ``none`` — insecure OoO baseline,
+* ``nda`` — the six Table 2 policies (paper's contribution),
+* ``invisispec`` — the Spectre/Future comparison variants,
+* ``fence-on-branch`` — the lfence-style software-mitigation analog,
+  registered purely through the public API as the extensibility example.
+"""
+
+from repro.schemes.base import NoParams, ProtectionModel, SchemeParams
+from repro.schemes.registry import (
+    SchemeInfo,
+    describe_schemes,
+    make_protection,
+    register_scheme,
+    registered_schemes,
+    scheme_info,
+    schemes_markdown_table,
+    unregister_scheme,
+)
+
+# Built-in scheme registration (import order = legend order).
+from repro.schemes.baseline import BaselineModel
+from repro.schemes.nda import NDAModel, NDAParams
+from repro.schemes.invisispec import InvisiSpecModel, InvisiSpecParams
+from repro.schemes.fence import FenceOnBranchModel, FenceOnBranchParams
+
+__all__ = [
+    "ProtectionModel",
+    "SchemeParams",
+    "NoParams",
+    "SchemeInfo",
+    "register_scheme",
+    "unregister_scheme",
+    "registered_schemes",
+    "scheme_info",
+    "make_protection",
+    "describe_schemes",
+    "schemes_markdown_table",
+    "BaselineModel",
+    "NDAModel",
+    "NDAParams",
+    "InvisiSpecModel",
+    "InvisiSpecParams",
+    "FenceOnBranchModel",
+    "FenceOnBranchParams",
+]

@@ -1,0 +1,30 @@
+"""The insecure out-of-order baseline ("OoO" in every figure)."""
+
+from __future__ import annotations
+
+from repro.schemes.base import NoParams, ProtectionModel, SchemeParams
+from repro.schemes.registry import register_scheme
+
+
+@register_scheme
+class BaselineModel(ProtectionModel):
+    """Unrestricted speculation: broadcast at completion (insecure baseline)."""
+
+    name = "none"
+    params_cls = NoParams
+    description = (
+        "unrestricted speculation; every attack PoC leaks (paper baseline)"
+    )
+
+    @classmethod
+    def label_for(cls, params: SchemeParams) -> str:
+        return "OoO"
+
+    @classmethod
+    def variants(cls):
+        # Registry/CLI name "ooo" predates the scheme registry; keep it.
+        return [("ooo", NoParams())]
+
+    @classmethod
+    def expected_leak(cls, attack, params: SchemeParams) -> bool:
+        return True

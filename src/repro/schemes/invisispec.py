@@ -1,0 +1,125 @@
+"""InvisiSpec: invisible speculative loads (the comparison system of §6).
+
+Speculative loads execute without filling the caches; once a load reaches
+its visibility point it exposes (off the critical path) or validates
+(blocking retirement).  The visibility rules live in
+:mod:`repro.invisispec.policy`; this model owns the pending-load pool and
+drives one visibility pass per cycle.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List
+
+from repro.core.rob import DynInstr
+from repro.invisispec.policy import load_is_speculative, needs_validation
+from repro.nda.safety import SafetyTracker
+from repro.schemes.base import ProtectionModel, SchemeParams
+from repro.schemes.registry import register_scheme
+
+
+@dataclass(frozen=True)
+class InvisiSpecParams(SchemeParams):
+    """InvisiSpec tunables: which threat model bounds speculation."""
+
+    #: False = Spectre model (speculative while an older branch is
+    #: unresolved); True = Futuristic model (speculative until the load
+    #: cannot be squashed at all).
+    future: bool = False
+
+
+@register_scheme
+class InvisiSpecModel(ProtectionModel):
+    """Invisible speculative loads with validate/expose at visibility."""
+
+    name = "invisispec"
+    params_cls = InvisiSpecParams
+    description = (
+        "speculative loads bypass the caches, then validate/expose "
+        "(InvisiSpec, MICRO'18)"
+    )
+
+    def __init__(self, core, params: InvisiSpecParams):
+        super().__init__(core, params)
+        self.future = params.future
+        # Policy-less tracker: only the unresolved-branch border is used.
+        self.safety = SafetyTracker(None)
+        self._pending: List[DynInstr] = []
+
+    # -- visibility ---------------------------------------------------- #
+
+    def _speculative(self, entry: DynInstr) -> bool:
+        return load_is_speculative(
+            entry, self.core.rob, self.safety, self.future
+        )
+
+    def load_executes_invisibly(self, entry: DynInstr) -> bool:
+        return self._speculative(entry)
+
+    def on_invisible_load(self, entry: DynInstr, access, now: int) -> None:
+        entry.invisible = True
+        entry.needs_validation = needs_validation(
+            entry, access.l1_hit, self.core.lsq.loads
+        )
+        self._pending.append(entry)
+        self.core.stats.invisible_loads += 1
+
+    def load_visibility_phase(self, now: int) -> None:
+        core = self.core
+        still_pending: List[DynInstr] = []
+        for entry in self._pending:
+            if entry.squashed:
+                continue  # squashed invisible loads expose nothing
+            if self._speculative(entry):
+                still_pending.append(entry)
+                continue
+            # Visibility point reached: validate (blocking) or expose.
+            result = core.hierarchy.expose_fill(entry.addr, now)
+            if entry.needs_validation:
+                entry.retire_ready = now + result.latency
+                core.stats.validations += 1
+            else:
+                core.stats.exposures += 1
+        self._pending = still_pending
+
+    # -- bookkeeping --------------------------------------------------- #
+
+    def on_dispatch(self, entry: DynInstr) -> None:
+        self.safety.on_dispatch(entry)
+
+    def on_branch_resolved(self, entry: DynInstr) -> None:
+        self.safety.on_branch_resolved(entry)
+
+    def on_store_resolved(self, entry: DynInstr) -> None:
+        self.safety.on_store_resolved(entry)
+
+    def on_squash(self, entry: DynInstr) -> None:
+        self.safety.on_squash(entry)
+
+    def after_squash(self) -> None:
+        super().after_squash()
+        self._pending = [e for e in self._pending if not e.squashed]
+
+    # -- registry/UI --------------------------------------------------- #
+
+    @classmethod
+    def label_for(cls, params: InvisiSpecParams) -> str:
+        return "InvisiSpec-Future" if params.future else "InvisiSpec-Spectre"
+
+    @classmethod
+    def variants(cls):
+        return [
+            ("invisispec-spectre", InvisiSpecParams(future=False)),
+            ("invisispec-future", InvisiSpecParams(future=True)),
+        ]
+
+    @classmethod
+    def expected_leak(cls, attack, params: InvisiSpecParams) -> bool:
+        # InvisiSpec blocks d-cache attacks within its threat model, never
+        # non-cache channels.
+        if attack.channel != "d-cache":
+            return True
+        if attack.access_class == "chosen-code" or attack.name == "ssb":
+            return not params.future  # -Spectre covers branches only
+        return False

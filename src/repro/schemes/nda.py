@@ -1,0 +1,93 @@
+"""NDA: deferred tag broadcast under a Table 2 policy (the paper's scheme).
+
+The model composes the pre-existing NDA machinery: a
+:class:`~repro.nda.safety.SafetyTracker` maintains the unresolved
+branch/store borders, and the inherited
+:class:`~repro.nda.broadcast.BroadcastArbiter` holds completed-but-unsafe
+results until they turn safe (paying the optional Fig. 9e logic delay).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.config import NDAPolicyName
+from repro.core.rob import DynInstr
+from repro.nda.policy import policy_for
+from repro.nda.safety import SafetyTracker
+from repro.schemes.base import ProtectionModel, SchemeParams
+from repro.schemes.registry import register_scheme
+
+_LABELS = {
+    NDAPolicyName.PERMISSIVE: "Permissive",
+    NDAPolicyName.PERMISSIVE_BR: "Permissive+BR",
+    NDAPolicyName.STRICT: "Strict",
+    NDAPolicyName.STRICT_BR: "Strict+BR",
+    NDAPolicyName.LOAD_RESTRICTION: "Restricted Loads",
+    NDAPolicyName.FULL_PROTECTION: "Full Protection",
+}
+
+
+@dataclass(frozen=True)
+class NDAParams(SchemeParams):
+    """NDA tunables: which Table 2 row to enforce."""
+
+    policy: NDAPolicyName = NDAPolicyName.PERMISSIVE
+
+
+@register_scheme
+class NDAModel(ProtectionModel):
+    """Defer result broadcast until the producing micro-op is safe (§5)."""
+
+    name = "nda"
+    params_cls = NDAParams
+    description = (
+        "defer tag broadcast until safe under a Table 2 policy (NDA, §5)"
+    )
+
+    def __init__(self, core, params: NDAParams):
+        super().__init__(core, params)
+        self.policy = policy_for(params.policy)
+        self.safety = SafetyTracker(self.policy)
+
+    def may_broadcast(self, entry: DynInstr, head_seq: Optional[int]) -> bool:
+        return self.safety.is_safe(entry, head_seq)
+
+    def on_dispatch(self, entry: DynInstr) -> None:
+        self.safety.on_dispatch(entry)
+
+    def on_branch_resolved(self, entry: DynInstr) -> None:
+        self.safety.on_branch_resolved(entry)
+
+    def on_store_resolved(self, entry: DynInstr) -> None:
+        self.safety.on_store_resolved(entry)
+
+    def on_squash(self, entry: DynInstr) -> None:
+        self.safety.on_squash(entry)
+
+    @classmethod
+    def label_for(cls, params: NDAParams) -> str:
+        return _LABELS[params.policy]
+
+    @classmethod
+    def variants(cls):
+        return [
+            (policy.value, NDAParams(policy=policy))
+            for policy in NDAPolicyName
+        ]
+
+    @classmethod
+    def expected_leak(cls, attack, params: NDAParams) -> bool:
+        policy = policy_for(params.policy)
+        if attack.access_class == "chosen-code":
+            # Only the load-restriction family blocks chosen-code attacks.
+            return not policy.blocks_chosen_code
+        if attack.name == "ssb":
+            # Bypass Restriction (or load restriction) is required.
+            return not policy.blocks_ssb
+        if attack.name == "gpr_steering":
+            # Register-resident secrets need strict propagation (§4.2);
+            # permissive and load restriction leave GPRs exposed.
+            return not policy.protects_gprs
+        return False  # all other control-steering attacks: blocked

@@ -1,0 +1,138 @@
+"""Name-keyed registry of protection schemes.
+
+The registry is the single point where a scheme plugs into the rest of
+the platform: :func:`repro.config.config_registry` derives its sweep from
+the registered variants, :class:`repro.core.ooo.OutOfOrderCore` builds its
+``protection`` object via :func:`make_protection`,
+:func:`repro.attacks.taxonomy.expected_leak` dispatches to the model's
+security ground truth, and the CLI's ``config list`` / README's schemes
+table render straight from the registered metadata.
+
+Registering a new scheme therefore takes one call::
+
+    from repro.schemes import ProtectionModel, SchemeParams, register_scheme
+
+    @register_scheme
+    class MyModel(ProtectionModel):
+        name = "my-scheme"
+        params_cls = MyParams
+        description = "what it does"
+        ...
+
+after which ``SimConfig(scheme="my-scheme")`` simulates it, the attack
+matrix exercises it, and its results cache under a distinct key.
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass, fields
+from typing import Dict, Type
+
+from repro.errors import ConfigError
+from repro.schemes.base import ProtectionModel, SchemeParams
+
+_NAME_RE = re.compile(r"^[a-z0-9]+(-[a-z0-9]+)*$")
+
+_REGISTRY: "Dict[str, SchemeInfo]" = {}
+
+
+@dataclass(frozen=True)
+class SchemeInfo:
+    """One registered scheme: its model class, params class, and docs."""
+
+    name: str
+    model: Type[ProtectionModel]
+    params: Type[SchemeParams]
+    description: str = ""
+
+
+def register_scheme(model: Type[ProtectionModel], *, replace: bool = False):
+    """Register *model* (usable as a class decorator); returns *model*.
+
+    The model class provides ``name`` (kebab-case registry key),
+    ``params_cls``, and ``description``.  Re-registering a name raises
+    unless ``replace=True`` (useful in tests).
+    """
+    name = getattr(model, "name", "")
+    if not name or not _NAME_RE.match(name):
+        raise ConfigError(
+            "scheme name %r must be non-empty kebab-case" % (name,)
+        )
+    if not issubclass(model, ProtectionModel):
+        raise ConfigError(
+            "scheme %r must subclass ProtectionModel" % name
+        )
+    if name in _REGISTRY and not replace:
+        raise ConfigError("scheme %r is already registered" % name)
+    description = model.description or (model.__doc__ or "").strip()
+    description = description.splitlines()[0] if description else ""
+    _REGISTRY[name] = SchemeInfo(
+        name=name, model=model, params=model.params_cls,
+        description=description,
+    )
+    return model
+
+
+def unregister_scheme(name: str) -> None:
+    """Remove a scheme (primarily for test teardown)."""
+    _REGISTRY.pop(name, None)
+
+
+def registered_schemes() -> "Dict[str, SchemeInfo]":
+    """Name -> :class:`SchemeInfo` in registration order."""
+    return dict(_REGISTRY)
+
+
+def scheme_info(name: str) -> SchemeInfo:
+    """Look up one scheme; raises :class:`ConfigError` with the known names."""
+    try:
+        return _REGISTRY[name]
+    except KeyError:
+        raise ConfigError(
+            "unknown protection scheme %r (registered: %s)"
+            % (name, ", ".join(sorted(_REGISTRY)) or "<none>")
+        ) from None
+
+
+def make_protection(core) -> ProtectionModel:
+    """Build the protection model for *core* from its ``SimConfig``."""
+    config = core.config
+    info = scheme_info(config.scheme)
+    params = config.scheme_params
+    if params is None:
+        params = info.params()
+    return info.model(core, params)
+
+
+def describe_schemes() -> str:
+    """Plain-text listing for ``nda-repro config list``."""
+    lines = []
+    for info in _REGISTRY.values():
+        names = ", ".join(name for name, _ in info.model.variants())
+        lines.append("%-16s %s" % (info.name, info.description))
+        lines.append("%-16s   configs: %s" % ("", names))
+        params = [f.name for f in fields(info.params)]
+        if params:
+            lines.append(
+                "%-16s   params:  %s(%s)"
+                % ("", info.params.__name__, ", ".join(params))
+            )
+    return "\n".join(lines)
+
+
+def schemes_markdown_table() -> str:
+    """The README "schemes" table, generated from the live registry."""
+    lines = [
+        "| Scheme | Model | Parameters | Registry configs | Description |",
+        "|---|---|---|---|---|",
+    ]
+    for info in _REGISTRY.values():
+        params = ", ".join(f.name for f in fields(info.params)) or "—"
+        names = ", ".join(
+            "`%s`" % name for name, _ in info.model.variants()
+        )
+        lines.append("| `%s` | `%s` | %s | %s | %s |" % (
+            info.name, info.model.__name__, params, names, info.description,
+        ))
+    return "\n".join(lines)

@@ -4,26 +4,14 @@ from __future__ import annotations
 
 import pytest
 
-from repro.config import (
-    NDAPolicyName,
-    SimConfig,
-    baseline_ooo,
-    invisispec_config,
-    nda_config,
-)
+from repro.config import SimConfig, baseline_ooo, config_registry
 
 # (label, config, run_on_inorder_core) for every evaluated mechanism.
+# Derived from the scheme registry so that a newly registered scheme is
+# automatically exercised by the attack matrix and the stress suites.
 ALL_CONFIG_SPECS = [
-    ("ooo", baseline_ooo(), False),
-    ("permissive", nda_config(NDAPolicyName.PERMISSIVE), False),
-    ("permissive+br", nda_config(NDAPolicyName.PERMISSIVE_BR), False),
-    ("strict", nda_config(NDAPolicyName.STRICT), False),
-    ("strict+br", nda_config(NDAPolicyName.STRICT_BR), False),
-    ("restricted-loads", nda_config(NDAPolicyName.LOAD_RESTRICTION), False),
-    ("full-protection", nda_config(NDAPolicyName.FULL_PROTECTION), False),
-    ("invisispec-spectre", invisispec_config(False), False),
-    ("invisispec-future", invisispec_config(True), False),
-    ("in-order", baseline_ooo(), True),
+    (spec.name, spec.config, spec.in_order)
+    for spec in config_registry().values()
 ]
 
 OOO_CONFIG_SPECS = [spec for spec in ALL_CONFIG_SPECS if not spec[2]]

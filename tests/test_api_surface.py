@@ -23,6 +23,7 @@ PACKAGES = [
     "repro.memory",
     "repro.frontend",
     "repro.core",
+    "repro.schemes",
     "repro.nda",
     "repro.invisispec",
     "repro.attacks",

@@ -83,8 +83,13 @@ class TestSimConfig:
 
     def test_nda_factory_scheme(self):
         config = nda_config(NDAPolicyName.STRICT)
-        assert config.scheme is ProtectionScheme.NDA
+        assert config.scheme == "nda"
         assert config.nda_policy is NDAPolicyName.STRICT
+
+    def test_legacy_enum_scheme_coerced(self):
+        config = SimConfig(scheme=ProtectionScheme.NDA)
+        assert config.scheme == "nda"
+        assert config.nda_policy is NDAPolicyName.PERMISSIVE
 
     def test_core_overrides(self):
         config = nda_config(NDAPolicyName.STRICT, rob_entries=64)
@@ -100,7 +105,7 @@ class TestSimConfig:
         assert labels == [
             "OoO", "Permissive", "Permissive+BR", "Strict", "Strict+BR",
             "Restricted Loads", "Full Protection", "InvisiSpec-Spectre",
-            "InvisiSpec-Future",
+            "InvisiSpec-Future", "FenceOnBranch",
         ]
 
     def test_forward_faulting_loads_default_on(self):

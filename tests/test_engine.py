@@ -254,9 +254,9 @@ class TestSimulateFacade:
 
 
 class TestConfigRegistry:
-    def test_ten_canonical_entries_in_legend_order(self):
+    def test_canonical_entries_in_legend_order(self):
         registry = config_registry()
-        assert len(registry) == 10
+        assert len(registry) == 11
         assert list(registry)[0] == "ooo"
         assert list(registry)[7] == "in-order"
         assert registry["in-order"].in_order

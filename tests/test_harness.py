@@ -154,9 +154,9 @@ class TestTables:
         assert any("8-issue" in value for _, value in rows)
         assert "Table 3" in render_table3()
 
-    def test_figure7_specs_have_ten_configs(self):
+    def test_figure7_specs_cover_every_registered_config(self):
         specs = figure7_config_specs()
-        assert len(specs) == 10
+        assert len(specs) == 11
         assert specs[7].label == IN_ORDER_LABEL
         assert specs[7].in_order
         # Legacy positional access keeps working during the deprecation.

@@ -1,0 +1,108 @@
+"""Golden-equivalence guard for the ProtectionModel refactor.
+
+``tests/golden/scheme_equivalence.json`` pins the exact cycle counts and
+scheme counters produced by the pre-refactor simulator (the in-core
+``if scheme == ...`` implementation) for every registered configuration
+on two benchmark kernels.  The refactor moved each scheme behind the
+:class:`repro.schemes.ProtectionModel` interface; these tests prove the
+move was bit-identical, not merely approximately equivalent.
+
+Regenerating (only after an *intentional* timing change, never to paper
+over a diff)::
+
+    PYTHONPATH=src python - <<'EOF'
+    import json
+    from repro.api import simulate
+    from repro.config import config_registry
+    from repro.workloads import spec_program
+    programs = {"mcf": {"instructions": 2500, "seed": 7},
+                "leela": {"instructions": 2500, "seed": 7}}
+    counters = {}
+    for bench, meta in programs.items():
+        prog = spec_program(bench, meta["instructions"], seed=meta["seed"])
+        for name, spec in config_registry().items():
+            s = simulate(prog, spec.config, in_order=spec.in_order).stats
+            counters["%s/%s" % (bench, name)] = {
+                f: getattr(s, f) for f in (
+                    "cycles", "committed", "deferred_broadcasts",
+                    "broadcast_port_conflicts", "invisible_loads",
+                    "validations", "exposures")}
+    json.dump({"comment": "see tests/test_scheme_golden.py",
+               "programs": programs, "counters": counters},
+              open("tests/golden/scheme_equivalence.json", "w"),
+              indent=1, sort_keys=True)
+    EOF
+"""
+
+from __future__ import annotations
+
+import json
+import pathlib
+
+import pytest
+
+from repro.api import simulate
+from repro.config import config_registry
+from repro.workloads import spec_program
+
+GOLDEN = pathlib.Path(__file__).parent / "golden" / "scheme_equivalence.json"
+
+FIELDS = (
+    "cycles",
+    "committed",
+    "deferred_broadcasts",
+    "broadcast_port_conflicts",
+    "invisible_loads",
+    "validations",
+    "exposures",
+)
+
+
+def _golden():
+    return json.loads(GOLDEN.read_text())
+
+
+def _cases():
+    golden = _golden()
+    return sorted(golden["counters"])
+
+
+@pytest.fixture(scope="module")
+def golden():
+    return _golden()
+
+
+@pytest.fixture(scope="module")
+def programs(golden):
+    return {
+        bench: spec_program(bench, meta["instructions"], seed=meta["seed"])
+        for bench, meta in golden["programs"].items()
+    }
+
+
+@pytest.mark.parametrize("case", _cases())
+def test_counters_bit_identical(case, golden, programs):
+    bench, name = case.split("/", 1)
+    spec = config_registry()[name]
+    stats = simulate(
+        programs[bench], spec.config, in_order=spec.in_order
+    ).stats
+    got = {field: getattr(stats, field) for field in FIELDS}
+    assert got == golden["counters"][case], (
+        "scheme refactor changed %s — the port must be bit-identical "
+        "(see module docstring before regenerating)" % case
+    )
+
+
+def test_golden_covers_every_preexisting_config():
+    """Every pre-refactor registry entry is pinned on both benchmarks.
+
+    fence-on-branch postdates the golden file (it did not exist before
+    the refactor), so it is the only registry entry allowed to be
+    missing.
+    """
+    golden = _golden()
+    pinned = {key.split("/", 1)[1] for key in golden["counters"]}
+    missing = set(config_registry()) - pinned - {"fence-on-branch"}
+    assert not missing, missing
+    assert len(golden["programs"]) >= 2

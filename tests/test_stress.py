@@ -125,11 +125,12 @@ def test_small_btb_and_ras():
 def test_attack_still_blocked_under_constrained_nda():
     """Security must not depend on resource sizing."""
     from repro.attacks import spectre_v1
-    from repro.config import NDAPolicyName, ProtectionScheme
+    from repro.config import NDAPolicyName
+    from repro.schemes import NDAParams
     config = SimConfig(
         core=CoreConfig(rob_entries=32, iq_entries=8, phys_regs=100),
-        scheme=ProtectionScheme.NDA,
-        nda_policy=NDAPolicyName.PERMISSIVE,
+        scheme="nda",
+        scheme_params=NDAParams(policy=NDAPolicyName.PERMISSIVE),
     ).validate()
     outcome = spectre_v1.run(config, guesses=list(range(32, 52)))
     assert not outcome.leaked
