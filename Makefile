@@ -1,7 +1,7 @@
 PYTHON ?= python
 export PYTHONPATH := src
 
-.PHONY: test attack-smoke bench-smoke bench cache-clear
+.PHONY: test attack-smoke bench-smoke bench bench-simspeed cache-clear
 
 test:
 	$(PYTHON) -m pytest -x -q
@@ -16,6 +16,11 @@ attack-smoke:
 bench-smoke:
 	$(PYTHON) -m repro.cli bench --benchmarks exchange2 leela \
 		--samples 1 --warmup 500 --measure 2000 --jobs 2
+
+# Simulator-speed benchmark: host kilo-cycles/sec with the idle-cycle
+# fast-forward on vs off; refreshes the checked-in BENCH_simspeed.json.
+bench-simspeed:
+	$(PYTHON) -m repro.cli bench-simspeed --output BENCH_simspeed.json
 
 # Full figure/table regeneration (writes under results/).
 bench:

@@ -1,0 +1,101 @@
+#!/usr/bin/env python
+"""Simulator-speed benchmark runner.
+
+Measures host wall-clock simulation throughput (kilo-cycles/sec) with
+the idle-cycle fast-forward on and off, and writes the JSON payload
+consumed by the CI perf-smoke job::
+
+    PYTHONPATH=src python benchmarks/bench_simspeed.py
+    PYTHONPATH=src python benchmarks/bench_simspeed.py \\
+        --quick --output BENCH_simspeed.ci.json \\
+        --baseline BENCH_simspeed.json
+
+With ``--baseline``, regressions beyond 25% print WARNING lines but the
+exit code stays 0 (runner wall clocks are too noisy for a hard gate).
+Unlike the ``bench_fig*`` modules this is a standalone script, not a
+pytest-benchmark suite: it times the simulator itself, not the machine
+being simulated.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+
+from repro.harness.simspeed import (
+    DEFAULT_CONFIGS,
+    DEFAULT_INSTRUCTIONS,
+    DEFAULT_REPEATS,
+    DEFAULT_SEED,
+    DEFAULT_WORKLOADS,
+    compare_simspeed,
+    render_simspeed,
+    run_simspeed,
+)
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--workloads", nargs="*", default=list(DEFAULT_WORKLOADS),
+        metavar="NAME",
+    )
+    parser.add_argument(
+        "--configs", nargs="*", default=list(DEFAULT_CONFIGS),
+        metavar="NAME",
+    )
+    parser.add_argument(
+        "--instructions", type=int, default=DEFAULT_INSTRUCTIONS
+    )
+    parser.add_argument("--repeats", type=int, default=DEFAULT_REPEATS)
+    parser.add_argument("--seed", type=int, default=DEFAULT_SEED)
+    parser.add_argument(
+        "--output", default="BENCH_simspeed.json", metavar="FILE",
+        help="where to write the JSON payload",
+    )
+    parser.add_argument(
+        "--baseline", default=None, metavar="FILE",
+        help="baseline payload to diff against (warn-only)",
+    )
+    parser.add_argument(
+        "--quick", action="store_true",
+        help="small matrix for CI smoke (mcf + ooo/strict, 2 repeats; "
+             "instruction count stays comparable to the baseline)",
+    )
+    args = parser.parse_args(argv)
+
+    if args.quick:
+        args.workloads = ["mcf"]
+        args.configs = ["ooo", "strict"]
+        args.repeats = min(args.repeats, 2)
+
+    payload = run_simspeed(
+        workloads=args.workloads,
+        configs=args.configs,
+        instructions=args.instructions,
+        repeats=args.repeats,
+        seed=args.seed,
+        verbose=True,
+    )
+    print()
+    print(render_simspeed(payload))
+
+    output = Path(args.output)
+    output.write_text(json.dumps(payload, indent=2) + "\n")
+    print()
+    print("wrote %s" % output)
+
+    if args.baseline:
+        baseline = json.loads(Path(args.baseline).read_text())
+        warnings = compare_simspeed(payload, baseline)
+        for line in warnings:
+            print(line)
+        if not warnings:
+            print("no regressions vs %s" % args.baseline)
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

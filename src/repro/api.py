@@ -29,6 +29,7 @@ def simulate(
     in_order: bool = False,
     max_cycles: Optional[int] = None,
     direction_predictor: str = "tournament",
+    fast_forward: bool = True,
 ) -> RunOutcome:
     """Run *program* to completion on the configured machine.
 
@@ -40,7 +41,10 @@ def simulate(
     ``in_order=True`` selects the serial timing core (the paper's
     TimingSimpleCPU analog), which ignores ``direction_predictor``.
     ``max_cycles`` defaults to a per-core budget (5M cycles out-of-order,
-    50M in-order).
+    50M in-order).  ``fast_forward=False`` disables the out-of-order
+    core's bit-identical idle-cycle fast-forward (results are unchanged
+    either way; the flag exists for equivalence tests and the simulator
+    speed benchmark).
     """
     if in_order:
         core: Union[InOrderCore, OutOfOrderCore] = InOrderCore(
@@ -49,7 +53,8 @@ def simulate(
         budget = max_cycles or _DEFAULT_MAX_CYCLES_INORDER
     else:
         core = OutOfOrderCore(
-            program, config, direction_predictor=direction_predictor
+            program, config, direction_predictor=direction_predictor,
+            fast_forward=fast_forward,
         )
         budget = max_cycles or _DEFAULT_MAX_CYCLES_OOO
     return core.run(max_cycles=budget)

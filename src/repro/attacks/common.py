@@ -150,11 +150,18 @@ def run_attack(
     config: SimConfig,
     in_order: bool = False,
     max_cycles: int = 30_000_000,
+    fast_forward: bool = True,
 ) -> RunOutcome:
-    """Execute an attack program on the chosen core."""
+    """Execute an attack program on the chosen core.
+
+    ``fast_forward`` toggles the OoO core's bit-identical idle-cycle
+    fast-forward (attack outcomes and timings are unchanged either way;
+    the flag feeds the equivalence tests).
+    """
     if in_order:
         return InOrderCore(program, config).run(max_cycles=max_cycles)
-    return OutOfOrderCore(program, config).run(max_cycles=max_cycles)
+    core = OutOfOrderCore(program, config, fast_forward=fast_forward)
+    return core.run(max_cycles=max_cycles)
 
 
 def read_timings(

@@ -118,10 +118,13 @@ def run(
     secret: int = 42,
     guesses: Optional[List[int]] = None,  # unused: bit-serial channel
     in_order: bool = False,
+    fast_forward: bool = True,
 ) -> BitChannelOutcome:
     """Run the i-cache-channel attack on *config*."""
     program = build_program(secret)
-    outcome = run_attack(program, config, in_order=in_order)
+    outcome = run_attack(
+        program, config, in_order=in_order, fast_forward=fast_forward
+    )
     memory = outcome.state.memory
     bit_timings = [
         memory.read_word(RESULTS_BASE + bit * 8) for bit in range(N_BITS)

@@ -97,11 +97,14 @@ def run(
     secret: int = 42,
     guesses: Optional[List[int]] = None,
     in_order: bool = False,
+    fast_forward: bool = True,
 ) -> AttackOutcome:
     """Run the attack on *config* and report whether the secret leaked."""
     guesses = guesses if guesses is not None else default_guesses(secret)
     program = build_program(secret, guesses)
-    outcome = run_attack(program, config, in_order=in_order)
+    outcome = run_attack(
+        program, config, in_order=in_order, fast_forward=fast_forward
+    )
     return AttackOutcome(
         attack="spectre_v1",
         channel="cache",

@@ -7,6 +7,8 @@ Subcommands::
     nda-repro matrix                 # full security matrix (Tables 1/2)
     nda-repro matrix --configs ooo strict fence-on-branch   # subset
     nda-repro bench --benchmarks mcf leela --samples 2 --jobs 4
+    nda-repro run mcf --config strict --stats
+    nda-repro bench-simspeed --output BENCH_simspeed.json
     nda-repro figure 4|7|8|9a|9b|9c|9d|9e
     nda-repro config ooo             # describe one configuration
     nda-repro config list            # registered schemes + named configs
@@ -111,6 +113,46 @@ def _build_parser() -> argparse.ArgumentParser:
     bench.add_argument("--measure", type=int, default=8000)
     _add_engine_args(bench)
 
+    run_cmd = sub.add_parser(
+        "run", help="run one generated workload to completion"
+    )
+    run_cmd.add_argument("benchmark", choices=sorted(PROFILES))
+    run_cmd.add_argument("--config", default="ooo", choices=_CONFIG_NAMES)
+    run_cmd.add_argument("--instructions", type=int, default=3000)
+    run_cmd.add_argument("--seed", type=int, default=0)
+    run_cmd.add_argument(
+        "--stats", action="store_true",
+        help="print the full counter summary (incl. simulator speed)",
+    )
+    run_cmd.add_argument(
+        "--no-fast-forward", action="store_true",
+        help="disable the bit-identical idle-cycle fast-forward",
+    )
+
+    simspeed = sub.add_parser(
+        "bench-simspeed",
+        help="benchmark the simulator itself (host kilo-cycles/sec)",
+    )
+    simspeed.add_argument(
+        "--workloads", nargs="*", default=None, choices=sorted(PROFILES),
+        metavar="NAME",
+    )
+    simspeed.add_argument(
+        "--configs", nargs="*", default=None, choices=_CONFIG_NAMES,
+        metavar="NAME",
+    )
+    simspeed.add_argument("--instructions", type=int, default=None)
+    simspeed.add_argument("--repeats", type=int, default=None)
+    simspeed.add_argument("--seed", type=int, default=None)
+    simspeed.add_argument(
+        "--output", default=None, metavar="FILE",
+        help="also write the JSON payload here",
+    )
+    simspeed.add_argument(
+        "--baseline", default=None, metavar="FILE",
+        help="warn (exit 0) on >25%% regressions vs this payload",
+    )
+
     config_cmd = sub.add_parser(
         "config", help="describe one named configuration, or list them all"
     )
@@ -202,6 +244,56 @@ def main(argv: Optional[List[str]] = None) -> int:
         print(render_table1(rows))
         mismatches = [r for r in rows if r["leaked"] != r["expected"]]
         return 1 if mismatches else 0
+
+    if args.command == "run":
+        from repro.api import simulate
+        from repro.workloads.generator import spec_program
+        spec = config_registry()[args.config]
+        program = spec_program(
+            args.benchmark, instructions=args.instructions, seed=args.seed
+        )
+        outcome = simulate(
+            program, spec.config, in_order=spec.in_order,
+            fast_forward=not args.no_fast_forward,
+        )
+        print(outcome)
+        if args.stats:
+            for key, value in outcome.stats.summary().items():
+                if isinstance(value, float):
+                    print("  %-28s %.3f" % (key, value))
+                else:
+                    print("  %-28s %s" % (key, value))
+        return 0
+
+    if args.command == "bench-simspeed":
+        import json as json_mod
+        from pathlib import Path
+
+        from repro.harness import simspeed as simspeed_mod
+        kwargs = {"verbose": True}
+        if args.workloads:
+            kwargs["workloads"] = args.workloads
+        if args.configs:
+            kwargs["configs"] = args.configs
+        if args.instructions is not None:
+            kwargs["instructions"] = args.instructions
+        if args.repeats is not None:
+            kwargs["repeats"] = args.repeats
+        if args.seed is not None:
+            kwargs["seed"] = args.seed
+        payload = simspeed_mod.run_simspeed(**kwargs)
+        print()
+        print(simspeed_mod.render_simspeed(payload))
+        if args.output:
+            Path(args.output).write_text(
+                json_mod.dumps(payload, indent=2) + "\n"
+            )
+            print("\nwrote %s" % args.output)
+        if args.baseline:
+            baseline = json_mod.loads(Path(args.baseline).read_text())
+            for line in simspeed_mod.compare_simspeed(payload, baseline):
+                print(line)
+        return 0
 
     if args.command == "bench":
         suite = run_suite(

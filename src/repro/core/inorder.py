@@ -10,6 +10,7 @@ execution model known to defeat all 25 documented attacks, §6.3).
 
 from __future__ import annotations
 
+import time
 from typing import Optional
 
 from repro.config import SimConfig
@@ -50,6 +51,7 @@ class InOrderCore:
     # ------------------------------------------------------------------ #
 
     def run(self, max_cycles: int = 50_000_000) -> RunOutcome:
+        wall_start = time.perf_counter()
         while not self.halted and self.cycle < max_cycles:
             self.step()
         if not self.halted and self.cycle >= max_cycles:
@@ -58,9 +60,23 @@ class InOrderCore:
             )
         self.stats.cycles = self.cycle
         self.stats.committed = self.committed
+        wall = time.perf_counter() - wall_start
+        self.stats.sim_wall_seconds = wall
+        self.stats.kilo_cycles_per_sec = (
+            self.cycle / wall / 1000.0 if wall > 0 else 0.0
+        )
         return RunOutcome(
             state=self.arch_state(), stats=self.stats, label="In-Order"
         )
+
+    def advance(self, limit: int) -> None:
+        """Step once (driver-loop parity with OutOfOrderCore.advance).
+
+        The serial core already charges whole multi-cycle latencies per
+        step, so there are no idle cycles to fast-forward over; *limit*
+        is accepted for interface compatibility and ignored.
+        """
+        self.step()
 
     def arch_state(self) -> MachineState:
         return MachineState(

@@ -11,11 +11,14 @@ exactly as in the paper's Fig. 2.
 
 from __future__ import annotations
 
+from operator import attrgetter
 from typing import Callable, Dict, List
 
 from repro.core.fu import FUPool
 from repro.core.rename import PhysRegFile
 from repro.core.rob import DynInstr
+
+_BY_SEQ = attrgetter("seq")
 
 
 class IssueQueue:
@@ -26,6 +29,9 @@ class IssueQueue:
         self.prf = prf
         self._size = 0
         self._ready: List[DynInstr] = []
+        # True while _ready is known to be seq-sorted; appends clear it so
+        # select() sorts only when a new entry actually arrived.
+        self._ready_sorted = True
         # phys reg -> entries waiting on it.
         self._waiters: Dict[int, List[DynInstr]] = {}
         # entry -> outstanding source count (kept off DynInstr to avoid
@@ -39,6 +45,11 @@ class IssueQueue:
     def full(self) -> bool:
         return self._size >= self.capacity
 
+    @property
+    def has_ready(self) -> bool:
+        """O(1): any entry waiting in the ready pool (selectable or not)?"""
+        return bool(self._ready)
+
     def insert(self, entry: DynInstr) -> None:
         ready_bits = self.prf.ready
         outstanding = 0
@@ -51,6 +62,7 @@ class IssueQueue:
             self._pending[entry] = outstanding
         else:
             self._ready.append(entry)
+            self._ready_sorted = False
 
     def on_broadcast(self, phys_reg: int) -> None:
         """A tag broadcast on *phys_reg*: wake its consumers."""
@@ -68,6 +80,7 @@ class IssueQueue:
             if remaining <= 0:
                 del pending[entry]
                 self._ready.append(entry)
+                self._ready_sorted = False
             else:
                 pending[entry] = remaining
 
@@ -97,7 +110,10 @@ class IssueQueue:
             return []
         selected: List[DynInstr] = []
         remaining: List[DynInstr] = []
-        self._ready.sort(key=lambda e: e.seq)
+        if not self._ready_sorted:
+            if len(self._ready) > 1:
+                self._ready.sort(key=_BY_SEQ)
+            self._ready_sorted = True
         for entry in self._ready:
             if entry.squashed:
                 self._size -= 1
@@ -114,7 +130,7 @@ class IssueQueue:
                 self._size -= 1
             else:
                 remaining.append(entry)
-        self._ready = remaining
+        self._ready = remaining  # filtered in order: still seq-sorted
         return selected
 
     def sources_ready(self, entry: DynInstr) -> bool:

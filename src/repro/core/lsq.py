@@ -11,7 +11,6 @@ overlapping address (the memory dependency unit of §5.2).
 from __future__ import annotations
 
 import enum
-from dataclasses import dataclass, field
 from typing import List, Optional, Set
 
 from repro.core.rob import DynInstr
@@ -25,12 +24,24 @@ class LoadAction(enum.Enum):
     WAIT = "wait"  # blocked behind a partially overlapping older store
 
 
-@dataclass
 class LoadDecision:
-    action: LoadAction
-    value: Optional[int] = None  # FORWARD only
-    forwarded_from: Optional[int] = None  # seq of the forwarding store
-    bypassed_stores: Set[int] = field(default_factory=set)
+    """One load's data-source decision (a per-attempt hot-path object)."""
+
+    __slots__ = ("action", "value", "forwarded_from", "bypassed_stores")
+
+    def __init__(
+        self,
+        action: LoadAction,
+        value: Optional[int] = None,  # FORWARD only
+        forwarded_from: Optional[int] = None,  # seq of the forwarding store
+        bypassed_stores: Optional[Set[int]] = None,
+    ):
+        self.action = action
+        self.value = value
+        self.forwarded_from = forwarded_from
+        self.bypassed_stores = (
+            bypassed_stores if bypassed_stores is not None else set()
+        )
 
 
 def _overlap(addr_a: int, size_a: int, addr_b: int, size_b: int) -> bool:
@@ -100,7 +111,10 @@ class LSQ:
         """
         assert load.addr is not None
         bypassed: Set[int] = set()
-        for store in sorted(self.stores, key=lambda s: -s.seq):
+        # self.stores is seq-ascending by construction (dispatch appends
+        # in program order; retire/remove_squashed preserve order), so
+        # youngest-first is a plain reversal — no per-call sort.
+        for store in reversed(self.stores):
             if store.seq > load.seq:
                 continue
             if store.addr is None:

@@ -23,7 +23,9 @@ cycle-level models): writeback -> deferred broadcast -> load visibility
 from __future__ import annotations
 
 import heapq
+import time
 from collections import deque
+from operator import attrgetter
 from typing import Deque, List, Optional, Tuple
 
 from repro.config import SimConfig
@@ -48,6 +50,8 @@ from repro.frontend.ras import RAS
 from repro.schemes.registry import make_protection
 from repro.stats.counters import CycleClass, PipelineStats
 
+_BY_SEQ = attrgetter("seq")
+
 
 class OutOfOrderCore:
     """One simulated OoO core running one program."""
@@ -57,6 +61,7 @@ class OutOfOrderCore:
         program: Program,
         config: Optional[SimConfig] = None,
         direction_predictor: str = "tournament",
+        fast_forward: bool = True,
     ):
         self.config = (config or SimConfig()).validate()
         core = self.config.core
@@ -92,6 +97,11 @@ class OutOfOrderCore:
         self.halted = False
         self.committed = 0
         self.stats = PipelineStats()
+        # Event-driven idle-cycle fast-forward (bit-identical; see
+        # DESIGN.md "The event-driven clock").  Not a SimConfig field on
+        # purpose: results are unchanged, so it must not churn cache keys.
+        self.fast_forward = fast_forward
+        self.ff_skipped_cycles = 0
 
         # The one protection-scheme object; every scheme-sensitive
         # decision in the pipeline below delegates to it.
@@ -100,7 +110,9 @@ class OutOfOrderCore:
         self._next_seq = 0
         self._fetch_buffer: Deque[FetchedOp] = deque()
         self._completions: List[Tuple[int, int, DynInstr]] = []
-        self._pending_mem: List[Tuple[int, DynInstr]] = []
+        # Min-heap of (ready_cycle, seq, entry) — seq breaks cycle ties so
+        # entries never compare (and pops are deterministic).
+        self._pending_mem: List[Tuple[int, int, DynInstr]] = []
         self._fence_seq: Optional[int] = None
         self._ports_used = 0
         self._issued_this_cycle = 0
@@ -119,21 +131,226 @@ class OutOfOrderCore:
         deadlock_cycles: int = 100_000,
     ) -> RunOutcome:
         """Simulate until HALT (or the program runs out), then report."""
+        fast = self.fast_forward
+        iq = self.iq
+        wall_start = time.perf_counter()
         while not self.halted and self.cycle < max_cycles:
+            # Inline gate: a non-empty ready pool means the machine is
+            # busy this cycle, so skip the full quiescence probe — it
+            # would veto anyway, and on issue-bound phases its cost per
+            # cycle is the whole fast-forward overhead.  (_ready is read
+            # fresh each iteration: select()/remove_squashed rebind it.)
+            if fast and not iq._ready:
+                # Never skip past the cycle at which the deadlock check
+                # would fire, so a dead machine raises at the exact same
+                # cycle (with identical accounting) as the stepped loop.
+                limit = self._last_commit_cycle + deadlock_cycles + 1
+                if max_cycles < limit:
+                    limit = max_cycles
+                if self.cycle < limit:
+                    target = self._next_interesting_cycle(limit)
+                    if target > self.cycle:
+                        self._skip_to(target)
+                        if self.cycle >= max_cycles:
+                            break
+                        if self.cycle - self._last_commit_cycle \
+                                > deadlock_cycles:
+                            raise self._deadlock_error(deadlock_cycles)
             self.step()
             if self.cycle - self._last_commit_cycle > deadlock_cycles:
-                raise DeadlockError(
-                    "no commit for %d cycles at cycle %d (head=%r)"
-                    % (deadlock_cycles, self.cycle, self.rob.head)
-                )
+                raise self._deadlock_error(deadlock_cycles)
         self.stats.cycles = self.cycle
         self.stats.committed = self.committed
         self.protection.finalize_stats(self.stats)
+        wall = time.perf_counter() - wall_start
+        self.stats.sim_wall_seconds = wall
+        self.stats.kilo_cycles_per_sec = (
+            self.cycle / wall / 1000.0 if wall > 0 else 0.0
+        )
         return RunOutcome(
             state=self.arch_state(),
             stats=self.stats,
             label=self.config.label(),
         )
+
+    def _deadlock_error(self, deadlock_cycles: int) -> DeadlockError:
+        return DeadlockError(
+            "no commit for %d cycles at cycle %d (head=%r)"
+            % (deadlock_cycles, self.cycle, self.rob.head)
+        )
+
+    def advance(self, limit: int) -> None:
+        """Step once, first jumping over a quiescent span (never past
+        *limit*) when fast-forward is enabled.
+
+        The driver for callers that own the simulation loop (e.g. SMARTS
+        sampling windows): a jump commits nothing, so loops gated on
+        ``self.committed`` see identical warmup/measure boundaries.
+        """
+        if self.fast_forward and not self.iq._ready and self.cycle < limit:
+            target = self._next_interesting_cycle(limit)
+            if target > self.cycle:
+                self._skip_to(target)
+                if self.cycle >= limit:
+                    return
+        self.step()
+
+    # ================================================================== #
+    # Idle-cycle fast-forward (the event-driven clock).
+    # ================================================================== #
+
+    def _next_interesting_cycle(self, limit: int) -> int:
+        """Earliest cycle in ``(now, limit]`` at which anything can happen.
+
+        Returns ``now`` itself when the machine is busy this cycle (no
+        skip).  A return of ``t > now`` asserts that every cycle in
+        ``[now, t)`` is quiescent: every ``step()`` across the span would
+        only run the per-cycle accounting that ``_skip_to`` batch-applies.
+        The checks mirror ``step()``'s phases; each phase either acts this
+        cycle (return ``now``), acts at a known future cycle (bound the
+        horizon), or is blocked on one of the other phases' events.
+        """
+        now = self.cycle
+        horizon = limit
+
+        # Issue: anything in the ready pool retries every cycle.  (Even a
+        # vetoed-ready entry — FU busy, serializing op not at head — may
+        # unblock mid-span without its unblocker being a *heap* event, so
+        # be conservative and never skip while the pool is non-empty.)
+        if self.iq.has_ready:
+            return now
+
+        # Writeback: the completion heap is the primary event source.
+        completions = self._completions
+        if completions:
+            due = completions[0][0]
+            if due <= now:
+                return now
+            if due < horizon:
+                horizon = due
+
+        # Memory phase: pending loads retry at their scheduled cycle
+        # (WAIT / port-blocked loads reschedule at now+1, so an actively
+        # blocked load naturally vetoes skipping).
+        pending = self._pending_mem
+        if pending:
+            due = pending[0][0]
+            if due <= now:
+                return now
+            if due < horizon:
+                horizon = due
+
+        rob = self.rob
+        head = rob.head
+        if head is not None and head.completed:
+            # Commit: a completed head either retires this cycle (busy),
+            # waits for a known retire_ready (InvisiSpec validation), or
+            # waits for its deferred broadcast (the protection's event).
+            ready = head.retire_ready
+            if ready > now:
+                if ready < horizon:
+                    horizon = ready
+            elif (
+                head.fault is not None
+                or head.bcast
+                or head.phys_dest is None
+            ):
+                return now
+
+        # Dispatch: the buffer head either dispatches this cycle (busy),
+        # is still in the front-end pipe (event at fetch_cycle + depth),
+        # or is structurally blocked — and every unblocker (commit, issue,
+        # broadcast) is covered by the other event sources above.
+        buffer = self._fetch_buffer
+        core = self.config.core
+        if buffer:
+            fetched = buffer[0]
+            due = fetched.fetch_cycle + core.frontend_depth
+            if due > now:
+                if due < horizon:
+                    horizon = due
+            elif not self._dispatch_blocked(fetched):
+                return now
+
+        # Fetch: mirrors _fetch()'s guards exactly.
+        if len(buffer) < 2 * core.fetch_width:
+            fu = self.fetch_unit
+            if not (fu.halt_seen or fu.waiting_for_resolve):
+                ready = fu.icache_ready_cycle
+                if now < ready:
+                    if ready < horizon:
+                        horizon = ready
+                elif self.program.fetch(fu.fetch_pc) is not None:
+                    return now
+                # else: the program ran out past fetch_pc — only a
+                # redirect (an event) restarts fetch.
+
+        # The protection scheme's own clock (deferred broadcasts, ...).
+        event = self.protection.next_event(now)
+        if event is not None:
+            if event <= now:
+                return now
+            if event < horizon:
+                horizon = event
+
+        return horizon
+
+    def _dispatch_blocked(self, fetched: FetchedOp) -> bool:
+        """Would ``_dispatch`` break before dispatching *fetched*?
+
+        Mirrors the structural break conditions of ``_dispatch`` for the
+        buffer head (its age gate is checked by the caller).  The rename
+        branch needs no separate check: ``rename_dest`` fails exactly
+        when the free list is empty, i.e. when ``free_count == 0``.
+        """
+        if self._fence_seq is not None:
+            return True
+        if self.rob.full or self.iq.full:
+            return True
+        instr = fetched.instr
+        rd = instr.rd
+        if rd is not None and rd != R0 and self.prf.free_count == 0:
+            return True
+        info = instr.info
+        lsq = self.lsq
+        if info.is_load and len(lsq.loads) >= lsq.lq_capacity:
+            return True
+        if info.is_store and len(lsq.stores) >= lsq.sq_capacity:
+            return True
+        return False
+
+    def _skip_to(self, target: int) -> None:
+        """Jump the clock to *target*, batch-applying the accounting the
+        skipped (strictly quiescent) cycles would have produced."""
+        now = self.cycle
+        span = target - now
+        stats = self.stats
+
+        # Fetch-stall counters: _fetch() consults stalled() — which
+        # increments them — only while the buffer has room.
+        if len(self._fetch_buffer) < 2 * self.config.core.fetch_width:
+            self.fetch_unit.account_stalls(now, span)
+
+        # MLP: no new miss can start inside a quiescent span, so the
+        # per-cycle outstanding counts collapse to one profile pass.
+        mlp_sum, mlp_cycles = self.hierarchy.offchip_profile(now, target)
+        if mlp_sum:
+            stats.mlp_sum += mlp_sum
+            stats.mlp_cycles += mlp_cycles
+
+        # Cycle classification: no commits or squashes while skipping, so
+        # every skipped cycle classifies identically (the ROB head and
+        # its kind are frozen).  No ILP term either: nothing issues.
+        if head := self.rob.head:
+            if head.is_load or head.is_store:
+                stats.cycle_class[CycleClass.MEMORY_STALL] += span
+            else:
+                stats.cycle_class[CycleClass.BACKEND_STALL] += span
+        else:
+            stats.cycle_class[CycleClass.FRONTEND_STALL] += span
+
+        self.ff_skipped_cycles += span
+        self.cycle = target
 
     def step(self) -> None:
         """Advance the machine by one cycle."""
@@ -175,12 +392,16 @@ class OutOfOrderCore:
     # ================================================================== #
 
     def _writeback(self, now: int) -> None:
+        completions = self._completions
+        if not completions or completions[0][0] > now:
+            return
         due: List[DynInstr] = []
-        while self._completions and self._completions[0][0] <= now:
-            _, _, entry = heapq.heappop(self._completions)
+        while completions and completions[0][0] <= now:
+            _, _, entry = heapq.heappop(completions)
             if not entry.squashed:
                 due.append(entry)
-        due.sort(key=lambda e: e.seq)
+        if len(due) > 1:
+            due.sort(key=_BY_SEQ)
         for entry in due:
             if entry.squashed:
                 continue  # an older entry in this batch squashed it
@@ -248,12 +469,11 @@ class OutOfOrderCore:
 
     def _drain_broadcasts(self, now: int) -> None:
         head = self.rob.head
-        head_seq = head.seq if head is not None else None
         self._ports_used += self.protection.drain_deferred(
             now,
             self._ports_used,
-            head_seq,
-            lambda e: self._broadcast(e, now),
+            head.seq if head is not None else None,
+            self._broadcast,  # bound method: no per-cycle closure
         )
 
     # ------------------------------------------------------------------ #
@@ -349,8 +569,9 @@ class OutOfOrderCore:
         self.lsq.remove_squashed()
         self.protection.after_squash()
         self._pending_mem = [
-            (c, e) for c, e in self._pending_mem if not e.squashed
+            item for item in self._pending_mem if not item[2].squashed
         ]
+        heapq.heapify(self._pending_mem)
         self._fetch_buffer.clear()
         if self._fence_seq is not None and self._fence_seq > seq:
             self._fence_seq = None
@@ -367,17 +588,23 @@ class OutOfOrderCore:
     # ================================================================== #
 
     def _mem_phase(self, now: int) -> None:
-        ready = [
-            (c, e) for c, e in self._pending_mem if c <= now and not e.squashed
-        ]
-        self._pending_mem = [
-            (c, e) for c, e in self._pending_mem
-            if c > now and not e.squashed
-        ]
+        # One heap pop per due load — the pool is never rebuilt (squashed
+        # entries are purged eagerly by _squash_after, and dropped here
+        # if one squashed within the current cycle).
+        pending = self._pending_mem
+        if not pending or pending[0][0] > now:
+            return
+        ready: List[DynInstr] = []
+        while pending and pending[0][0] <= now:
+            _, _, entry = heapq.heappop(pending)
+            if not entry.squashed:
+                ready.append(entry)
+        if len(ready) > 1:
+            ready.sort(key=_BY_SEQ)
         dcache_ports = self.config.mem.l1d.ports
         dcache_used = 0
-        ready.sort(key=lambda item: item[1].seq)
-        for _, entry in ready:
+        push = heapq.heappush
+        for entry in ready:
             decision = self.lsq.decide_load(entry)
             if (
                 decision.action is LoadAction.MEMORY
@@ -385,10 +612,10 @@ class OutOfOrderCore:
                 and self.memdep.should_wait(entry.pc)
             ):
                 # The dependence predictor vetoes the speculative bypass.
-                self._pending_mem.append((now + 1, entry))
+                push(pending, (now + 1, entry.seq, entry))
                 continue
             if decision.action is LoadAction.WAIT:
-                self._pending_mem.append((now + 1, entry))
+                push(pending, (now + 1, entry.seq, entry))
                 continue
             if decision.action is LoadAction.FORWARD:
                 entry.data_obtained = True
@@ -399,7 +626,7 @@ class OutOfOrderCore:
                 continue
             # MEMORY access: gated by the L1D port count.
             if dcache_used >= dcache_ports:
-                self._pending_mem.append((now + 1, entry))
+                push(pending, (now + 1, entry.seq, entry))
                 continue
             dcache_used += 1
             entry.data_obtained = True
@@ -456,7 +683,9 @@ class OutOfOrderCore:
             instr = entry.instr
             if entry.is_load:
                 entry.addr = (entry.src_vals[0] + instr.imm) & U64_MASK
-                self._pending_mem.append((now + 1, entry))
+                heapq.heappush(
+                    self._pending_mem, (now + 1, entry.seq, entry)
+                )
             else:
                 latency = instr.info.latency + entry.issue_penalty
                 heapq.heappush(

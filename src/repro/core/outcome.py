@@ -20,6 +20,16 @@ class RunOutcome:
     def cpi(self) -> float:
         return self.stats.cpi
 
+    @property
+    def sim_wall_seconds(self) -> float:
+        """Host wall-clock seconds the run took (simulator speed)."""
+        return self.stats.sim_wall_seconds
+
+    @property
+    def kilo_cycles_per_sec(self) -> float:
+        """Simulated kilo-cycles per wall-clock second."""
+        return self.stats.kilo_cycles_per_sec
+
     def reg(self, index: int) -> int:
         return self.state.regs[index]
 

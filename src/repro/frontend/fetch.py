@@ -13,7 +13,6 @@ dispatch-stall argument for phantom branches applies the same way).
 
 from __future__ import annotations
 
-from dataclasses import dataclass
 from typing import List, Optional
 
 from repro.frontend.btb import BTB
@@ -27,20 +26,40 @@ from repro.memory.hierarchy import MemoryHierarchy
 INSTR_BYTES = 4
 
 
-@dataclass
 class FetchedOp:
-    """One fetched micro-op plus its front-end prediction metadata."""
+    """One fetched micro-op plus its front-end prediction metadata.
 
-    instr: Instr
-    pc: int
-    fetch_cycle: int
-    pred_next_pc: int  # where fetch went after this instruction
-    pred_taken: bool = False  # conditional branches only
-    ras_snapshot: Optional[tuple] = None  # branches only (for repair)
-    btb_hit: bool = False
-    # True when fetch had no prediction for an indirect branch and stalled
-    # behind it: there is no wrong path to squash, only a redirect.
-    unpredicted: bool = False
+    A plain ``__slots__`` class (not a dataclass): one is allocated per
+    fetched micro-op, which makes it one of the hottest allocations in
+    the simulator.
+    """
+
+    __slots__ = (
+        "instr", "pc", "fetch_cycle", "pred_next_pc", "pred_taken",
+        "ras_snapshot", "btb_hit", "unpredicted",
+    )
+
+    def __init__(
+        self,
+        instr: Instr,
+        pc: int,
+        fetch_cycle: int,
+        pred_next_pc: int,  # where fetch went after this instruction
+        pred_taken: bool = False,  # conditional branches only
+        ras_snapshot: Optional[tuple] = None,  # branches only (for repair)
+        btb_hit: bool = False,
+        # True when fetch had no prediction for an indirect branch and
+        # stalled behind it: no wrong path to squash, only a redirect.
+        unpredicted: bool = False,
+    ):
+        self.instr = instr
+        self.pc = pc
+        self.fetch_cycle = fetch_cycle
+        self.pred_next_pc = pred_next_pc
+        self.pred_taken = pred_taken
+        self.ras_snapshot = ras_snapshot
+        self.btb_hit = btb_hit
+        self.unpredicted = unpredicted
 
 
 class FetchUnit:
@@ -69,6 +88,43 @@ class FetchUnit:
         self.fetched_ops = 0
         self.icache_stall_cycles = 0
         self.indirect_stall_cycles = 0
+
+    # ------------------------------------------------------------------ #
+    # Read-only state exposed for the core's idle-cycle fast-forward.
+    # ------------------------------------------------------------------ #
+
+    @property
+    def halt_seen(self) -> bool:
+        """Fetch ran past a HALT and stopped (until a redirect)."""
+        return self._halt_seen
+
+    @property
+    def waiting_for_resolve(self) -> bool:
+        """Fetch stalled behind an unpredicted indirect branch."""
+        return self._wait_for_resolve
+
+    @property
+    def icache_ready_cycle(self) -> int:
+        """First cycle fetch may proceed after a miss/redirect."""
+        return self._icache_ready
+
+    def account_stalls(self, now: int, span: int) -> None:
+        """Batch-replicate ``stalled()``'s counters for a quiescent span.
+
+        The caller (the core's fast-forward) guarantees the fetch unit's
+        stall cause cannot change during ``[now, now + span)`` and, for
+        the i-cache case, that the span ends at or before
+        ``icache_ready_cycle`` — so each skipped cycle would have bumped
+        exactly the counter bumped here.
+        """
+        if self._halt_seen:
+            return
+        if self._wait_for_resolve:
+            self.indirect_stall_cycles += span
+        elif now < self._icache_ready:
+            self.icache_stall_cycles += span
+        # else: fetch is not stalled (the program ran out past fetch_pc);
+        # stalled() would count nothing.
 
     # ------------------------------------------------------------------ #
 

@@ -1,0 +1,219 @@
+"""Simulator-speed benchmark (host wall-clock, not simulated cycles).
+
+Measures how fast the out-of-order core simulates — kilo-cycles of
+simulated time per second of host time — with the idle-cycle
+fast-forward on and off, per (workload, configuration) pair.  Every
+measurement double-checks bit-identity: an FF-on run whose simulated
+``cycles``/``committed`` differ from the FF-off run is a correctness
+bug, and the harness raises instead of reporting a bogus speedup.
+
+``run_simspeed`` returns a JSON-serializable payload;
+``render_simspeed`` pretty-prints it; ``compare_simspeed`` diffs a
+fresh payload against a checked-in baseline for the CI perf-smoke job
+(warnings, never hard failures — CI runners are noisy).
+"""
+
+from __future__ import annotations
+
+import platform
+import time
+from typing import Dict, List, Sequence
+
+from repro.api import simulate
+from repro.config import config_registry
+from repro.workloads.generator import spec_program
+
+#: Default measurement matrix: one DRAM-latency-bound workload (mcf,
+#: where fast-forward shines), one branchy one (leela), one high-ILP
+#: one (exchange2), across the protection schemes whose timing differs.
+DEFAULT_WORKLOADS = ("mcf", "leela", "exchange2")
+DEFAULT_CONFIGS = ("ooo", "strict", "invisispec-spectre", "fence-on-branch")
+DEFAULT_INSTRUCTIONS = 3_000
+DEFAULT_REPEATS = 3
+DEFAULT_SEED = 7
+
+
+class SimSpeedError(RuntimeError):
+    """Raised when an FF-on run diverges from its FF-off reference."""
+
+
+def _time_run(program, config, fast_forward: bool, repeats: int):
+    """Best-of-*repeats* wall time; returns (seconds, outcome)."""
+    best = None
+    outcome = None
+    for _ in range(repeats):
+        start = time.perf_counter()
+        result = simulate(program, config, fast_forward=fast_forward)
+        elapsed = time.perf_counter() - start
+        if best is None or elapsed < best:
+            best = elapsed
+            outcome = result
+    return best, outcome
+
+
+def measure_case(
+    workload: str,
+    config_name: str,
+    instructions: int = DEFAULT_INSTRUCTIONS,
+    repeats: int = DEFAULT_REPEATS,
+    seed: int = DEFAULT_SEED,
+) -> Dict[str, object]:
+    """Time one (workload, config) pair with fast-forward on and off."""
+    spec = config_registry()[config_name]
+    if spec.in_order:
+        raise ValueError(
+            "%r is an in-order configuration; the simulator-speed "
+            "benchmark measures the out-of-order core" % config_name
+        )
+    program = spec_program(workload, instructions=instructions, seed=seed)
+    wall_ff, fast = _time_run(program, spec.config, True, repeats)
+    wall_no, slow = _time_run(program, spec.config, False, repeats)
+    if (fast.stats.cycles != slow.stats.cycles
+            or fast.stats.committed != slow.stats.committed):
+        raise SimSpeedError(
+            "fast-forward diverged on %s/%s: cycles %d vs %d, "
+            "committed %d vs %d" % (
+                workload, config_name,
+                fast.stats.cycles, slow.stats.cycles,
+                fast.stats.committed, slow.stats.committed,
+            )
+        )
+    cycles = fast.stats.cycles
+    committed = fast.stats.committed
+    return {
+        "workload": workload,
+        "config": config_name,
+        "label": spec.label,
+        "cycles": cycles,
+        "committed": committed,
+        "wall_seconds": wall_ff,
+        "wall_seconds_no_ff": wall_no,
+        "cycles_per_sec": cycles / wall_ff if wall_ff > 0 else 0.0,
+        "cycles_per_sec_no_ff": cycles / wall_no if wall_no > 0 else 0.0,
+        "committed_per_sec": committed / wall_ff if wall_ff > 0 else 0.0,
+        "speedup_vs_no_ff": wall_no / wall_ff if wall_ff > 0 else 0.0,
+    }
+
+
+def run_simspeed(
+    workloads: Sequence[str] = DEFAULT_WORKLOADS,
+    configs: Sequence[str] = DEFAULT_CONFIGS,
+    instructions: int = DEFAULT_INSTRUCTIONS,
+    repeats: int = DEFAULT_REPEATS,
+    seed: int = DEFAULT_SEED,
+    verbose: bool = False,
+) -> Dict[str, object]:
+    """Measure the full matrix; returns the JSON payload."""
+    results: List[Dict[str, object]] = []
+    for workload in workloads:
+        for config_name in configs:
+            case = measure_case(
+                workload, config_name,
+                instructions=instructions, repeats=repeats, seed=seed,
+            )
+            results.append(case)
+            if verbose:
+                print(
+                    "  %-12s %-20s %8.0f kc/s  (%.2fx vs no-ff)" % (
+                        workload, config_name,
+                        case["cycles_per_sec"] / 1000.0,
+                        case["speedup_vs_no_ff"],
+                    )
+                )
+    speedups = [case["speedup_vs_no_ff"] for case in results]
+    rates = [case["cycles_per_sec"] for case in results]
+    return {
+        "schema": 1,
+        "instructions": instructions,
+        "repeats": repeats,
+        "seed": seed,
+        "python": platform.python_version(),
+        "machine": platform.machine(),
+        "results": results,
+        "aggregate": {
+            "min_speedup_vs_no_ff": min(speedups) if speedups else 0.0,
+            "max_speedup_vs_no_ff": max(speedups) if speedups else 0.0,
+            "best_cycles_per_sec": max(rates) if rates else 0.0,
+        },
+    }
+
+
+def render_simspeed(payload: Dict[str, object]) -> str:
+    """ASCII table of one payload."""
+    lines = [
+        "Simulator speed (%d instructions, best of %d, seed %d, "
+        "Python %s)" % (
+            payload["instructions"], payload["repeats"],
+            payload["seed"], payload["python"],
+        ),
+        "",
+        "%-12s %-20s %10s %10s %10s %8s" % (
+            "workload", "config", "sim-cycles", "kc/s (ff)",
+            "kc/s (off)", "speedup",
+        ),
+        "-" * 76,
+    ]
+    for case in payload["results"]:
+        lines.append(
+            "%-12s %-20s %10d %10.0f %10.0f %7.2fx" % (
+                case["workload"], case["config"], case["cycles"],
+                case["cycles_per_sec"] / 1000.0,
+                case["cycles_per_sec_no_ff"] / 1000.0,
+                case["speedup_vs_no_ff"],
+            )
+        )
+    agg = payload["aggregate"]
+    lines.append("-" * 76)
+    lines.append(
+        "fast-forward speedup: min %.2fx, max %.2fx; best rate %.0f kc/s"
+        % (
+            agg["min_speedup_vs_no_ff"], agg["max_speedup_vs_no_ff"],
+            agg["best_cycles_per_sec"] / 1000.0,
+        )
+    )
+    return "\n".join(lines)
+
+
+def compare_simspeed(
+    payload: Dict[str, object],
+    baseline: Dict[str, object],
+    threshold: float = 0.25,
+) -> List[str]:
+    """Warnings for cases slower than *baseline* by more than *threshold*.
+
+    Compares ``cycles_per_sec`` per (workload, config).  Returns
+    human-readable warning strings — the CI job prints them and still
+    exits 0, because shared-runner wall clocks are far too noisy for a
+    hard perf gate.
+    """
+    warnings: List[str] = []
+    for key in ("instructions", "seed"):
+        if payload.get(key) != baseline.get(key):
+            # kc/s scales with program size, so cross-parameter diffs
+            # would be pure noise; say so instead of fake-warning.
+            return [
+                "NOTE: baseline measured with %s=%r, this run with %r "
+                "-- skipping the regression check"
+                % (key, baseline.get(key), payload.get(key))
+            ]
+    reference = {
+        (case["workload"], case["config"]): case
+        for case in baseline.get("results", [])
+    }
+    for case in payload["results"]:
+        key = (case["workload"], case["config"])
+        base = reference.get(key)
+        if base is None or not base["cycles_per_sec"]:
+            continue
+        ratio = case["cycles_per_sec"] / base["cycles_per_sec"]
+        if ratio < 1.0 - threshold:
+            warnings.append(
+                "WARNING: %s/%s simulates at %.0f kc/s, %.0f%% below the "
+                "baseline's %.0f kc/s" % (
+                    key[0], key[1],
+                    case["cycles_per_sec"] / 1000.0,
+                    (1.0 - ratio) * 100.0,
+                    base["cycles_per_sec"] / 1000.0,
+                )
+            )
+    return warnings

@@ -89,7 +89,34 @@ class MemoryHierarchy:
 
     def outstanding_offchip(self, now: int) -> int:
         """Number of off-chip misses in flight at cycle *now*."""
-        return sum(1 for c in self._offchip if c > now)
+        count = 0
+        for c in self._offchip:
+            if c > now:
+                count += 1
+        return count
+
+    def offchip_profile(self, start: int, end: int) -> Tuple[int, int]:
+        """Aggregate MLP accounting for the half-open cycle span
+        ``[start, end)``.
+
+        Returns ``(mlp_sum, mlp_cycles)`` — exactly what accumulating
+        ``outstanding_offchip(t)`` for every cycle ``t`` in the span would
+        produce, computed in one pass over the in-flight misses.  Only
+        legal when no new miss starts inside the span, which the core's
+        idle-cycle fast-forward guarantees (a quiescent machine issues no
+        memory accesses).
+        """
+        total = 0
+        latest = start
+        for c in self._offchip:
+            overlap = (c if c < end else end) - start
+            if overlap > 0:
+                total += overlap
+                if c > latest:
+                    latest = c
+        if not total:
+            return 0, 0
+        return total, (latest if latest < end else end) - start
 
     # ------------------------------------------------------------------ #
     # Data path.

@@ -10,9 +10,12 @@ broadcast before ``S + extra_delay``.
 
 from __future__ import annotations
 
-from typing import Callable, List, Optional
+from operator import attrgetter
+from typing import Callable, List
 
 from repro.core.rob import DynInstr
+
+_BY_SEQ = attrgetter("seq")
 
 
 class BroadcastArbiter:
@@ -51,7 +54,8 @@ class BroadcastArbiter:
             return 0
         done = 0
         remaining: List[DynInstr] = []
-        self.deferred.sort(key=lambda e: e.seq)
+        if len(self.deferred) > 1:
+            self.deferred.sort(key=_BY_SEQ)
         for entry in self.deferred:
             if done >= available:
                 remaining.append(entry)

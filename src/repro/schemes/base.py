@@ -21,6 +21,7 @@ hook                     called from
 ``may_broadcast``        writeback, before a completed op wakes dependents
 ``defer_broadcast``      writeback, when unsafe or port-starved
 ``drain_deferred``       once per cycle, retries the deferred pool
+``next_event``           the idle-cycle fast-forward's quiescence check
 ``load_visibility_phase``once per cycle, between drain and the memory phase
 ``load_executes_invisibly`` memory phase, before the cache access
 ``on_invisible_load``    memory phase, after an invisible access
@@ -107,23 +108,57 @@ class ProtectionModel:
         now: int,
         ports_used: int,
         head_seq: Optional[int],
-        broadcast: Callable[[DynInstr], None],
+        broadcast: Callable[[DynInstr, int], None],
     ) -> int:
         """Retry the deferred pool; returns the number broadcast.
 
-        Also syncs the arbiter's counters into the core's stats every
-        cycle so sampled windows see up-to-date values.
+        *broadcast* takes ``(entry, now)`` so the core can pass a bound
+        method instead of allocating a closure every cycle; the per-drain
+        adapters below are only built when the pool is non-empty.  Also
+        syncs the arbiter's counters into the core's stats whenever they
+        can change, so sampled windows see up-to-date values.
         """
-        done = self.arbiter.drain(
+        arbiter = self.arbiter
+        if not arbiter.deferred:
+            return 0
+        done = arbiter.drain(
             now,
             ports_used,
             lambda e: self.may_broadcast(e, head_seq),
-            broadcast,
+            lambda e: broadcast(e, now),
         )
         stats = self.core.stats
-        stats.deferred_broadcasts = self.arbiter.deferred_broadcasts
-        stats.broadcast_port_conflicts = self.arbiter.port_conflicts
+        stats.deferred_broadcasts = arbiter.deferred_broadcasts
+        stats.broadcast_port_conflicts = arbiter.port_conflicts
         return done
+
+    def next_event(self, now: int) -> Optional[int]:
+        """Earliest future cycle at which this scheme may act on its own.
+
+        Consulted by the core's idle-cycle fast-forward once per
+        quiescence check (see DESIGN.md, "The event-driven clock").
+        Return values:
+
+        * ``None`` — the scheme is purely reactive right now: it will do
+          nothing until some other pipeline event (a completion, a memory
+          response, a fetch redirect) happens first.
+        * a cycle number — the scheme may act at that cycle, and the
+          clock must not skip past it.  Returning ``now`` (or anything
+          ``<= now``) vetoes fast-forwarding for this cycle.
+
+        Implementations may rely on the span between ``now`` and the
+        returned cycle being quiescent: nothing completes, issues,
+        dispatches, commits, fetches, or squashes in between, so any
+        state derived from the ROB/LSQ/safety tracker is frozen.
+
+        The base implementation is conservative about the only
+        time-driven machinery it owns, the deferred-broadcast pool: any
+        deferred entry vetoes skipping.  Schemes that add their own
+        time-driven or per-cycle behavior (e.g. a visibility phase) MUST
+        override this and either veto or bound their next action; purely
+        reactive schemes inherit a correct default.
+        """
+        return now if self.arbiter.deferred else None
 
     # ------------------------------------------------------------------ #
     # Issue gating (fence-style schemes).

@@ -8,7 +8,13 @@ from repro.schemes.registry import register_scheme
 
 @register_scheme
 class BaselineModel(ProtectionModel):
-    """Unrestricted speculation: broadcast at completion (insecure baseline)."""
+    """Unrestricted speculation: broadcast at completion (insecure baseline).
+
+    Purely reactive — it inherits the base ``next_event()`` (anything in
+    the deferred pool is port-starved and retries every cycle; otherwise
+    the scheme never initiates work), so the core's idle-cycle
+    fast-forward is fully enabled under this scheme.
+    """
 
     name = "none"
     params_cls = NoParams

@@ -45,7 +45,13 @@ class FenceOnBranchParams(SchemeParams):
 
 @register_scheme
 class FenceOnBranchModel(ProtectionModel):
-    """Serialize issue past unresolved branches (and before loads)."""
+    """Serialize issue past unresolved branches (and before loads).
+
+    The issue gates depend only on ROB/safety state, never on the cycle
+    number, so the scheme is purely reactive and inherits the base
+    ``next_event()``: fast-forward legality is decided entirely by the
+    pipeline's own event sources.
+    """
 
     name = "fence-on-branch"
     params_cls = FenceOnBranchParams

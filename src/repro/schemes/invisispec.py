@@ -10,7 +10,7 @@ drives one visibility pass per cycle.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import List
+from typing import List, Optional
 
 from repro.core.rob import DynInstr
 from repro.invisispec.policy import load_is_speculative, needs_validation
@@ -66,6 +66,8 @@ class InvisiSpecModel(ProtectionModel):
         self.core.stats.invisible_loads += 1
 
     def load_visibility_phase(self, now: int) -> None:
+        if not self._pending:
+            return
         core = self.core
         still_pending: List[DynInstr] = []
         for entry in self._pending:
@@ -82,6 +84,20 @@ class InvisiSpecModel(ProtectionModel):
             else:
                 core.stats.exposures += 1
         self._pending = still_pending
+
+    def next_event(self, now: int) -> Optional[int]:
+        """Veto fast-forward while any pending load can turn visible.
+
+        Whether a pending invisible load is still speculative depends
+        only on ROB/safety state, which is frozen across a quiescent
+        span — so a load that is speculative now stays speculative until
+        the next pipeline event, and only a load that is *already*
+        non-speculative forces a per-cycle visibility pass.
+        """
+        for entry in self._pending:
+            if not self._speculative(entry):
+                return now
+        return super().next_event(now)
 
     # -- bookkeeping --------------------------------------------------- #
 

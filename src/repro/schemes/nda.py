@@ -54,6 +54,37 @@ class NDAModel(ProtectionModel):
     def may_broadcast(self, entry: DynInstr, head_seq: Optional[int]) -> bool:
         return self.safety.is_safe(entry, head_seq)
 
+    def next_event(self, now: int) -> Optional[int]:
+        """Precise fast-forward horizon for the deferred pool.
+
+        An *unsafe* deferred entry turns safe only through a pipeline
+        event (branch/store resolution, a commit moving the ROB head),
+        so it never bounds a quiescent span on its own.  A safe entry
+        must broadcast at ``safe_cycle + extra_delay`` — or immediately,
+        if it is still unstamped (the next drain stamps it) or its delay
+        already elapsed (it was port-limited).
+        """
+        deferred = self.arbiter.deferred
+        if not deferred:
+            return None
+        head = self.core.rob.head
+        head_seq = head.seq if head is not None else None
+        delay = self.arbiter.extra_delay
+        is_safe = self.safety.is_safe
+        horizon: Optional[int] = None
+        for entry in deferred:
+            if not is_safe(entry, head_seq):
+                continue
+            stamp = entry.safe_cycle
+            if stamp < 0:
+                return now
+            due = stamp + delay
+            if due <= now:
+                return now
+            if horizon is None or due < horizon:
+                horizon = due
+        return horizon
+
     def on_dispatch(self, entry: DynInstr) -> None:
         self.safety.on_dispatch(entry)
 

@@ -59,6 +59,12 @@ class PipelineStats:
     invisible_loads: int = 0
     validations: int = 0
     exposures: int = 0
+    # Host-side measurement of the run itself, filled in by ``run()``.
+    # These describe the *simulator's* speed, not simulated state, so
+    # they are nondeterministic and excluded from every bit-identity
+    # comparison (golden tests, fast-forward equivalence).
+    sim_wall_seconds: float = 0.0
+    kilo_cycles_per_sec: float = 0.0
 
     # ------------------------------------------------------------------ #
     # Derived metrics.
@@ -159,6 +165,8 @@ class PipelineStats:
             "dispatch_to_issue": self.mean_dispatch_to_issue,
             "mispredict_rate": self.mispredict_rate,
             "squashes": float(self.squashes),
+            "sim_wall_seconds": self.sim_wall_seconds,
+            "kilo_cycles_per_sec": self.kilo_cycles_per_sec,
         }
         for name, count in self.cycle_class.items():
             out["cycles_" + name] = float(count)

@@ -130,13 +130,19 @@ def run_window(
     measure: int,
     in_order: bool = False,
     max_cycles: int = 30_000_000,
+    fast_forward: bool = True,
 ) -> PipelineStats:
-    """Run *program*, returning the counters of the measurement window."""
+    """Run *program*, returning the counters of the measurement window.
+
+    Window boundaries are committed-instruction counts and fast-forward
+    jumps commit nothing, so windows are bit-identical with the jump
+    enabled (``fast_forward=False`` exists for the equivalence tests).
+    """
     core = InOrderCore(program, config) if in_order \
-        else OutOfOrderCore(program, config)
+        else OutOfOrderCore(program, config, fast_forward=fast_forward)
     start: Optional[PipelineStats] = None
     while not core.halted and core.cycle < max_cycles:
-        core.step()
+        core.advance(max_cycles)
         if start is None and core.committed >= warmup:
             core.stats.cycles = core.cycle
             core.stats.committed = core.committed
