@@ -1,7 +1,8 @@
 PYTHON ?= python
 export PYTHONPATH := src
 
-.PHONY: test attack-smoke bench-smoke bench bench-simspeed cache-clear
+.PHONY: test attack-smoke bench-smoke fuzz-smoke bench bench-simspeed \
+	cache-clear
 
 test:
 	$(PYTHON) -m pytest -x -q
@@ -16,6 +17,13 @@ attack-smoke:
 bench-smoke:
 	$(PYTHON) -m repro.cli bench --benchmarks exchange2 leela \
 		--samples 1 --warmup 500 --measure 2000 --jobs 2
+
+# Time-boxed differential fuzzing: 40 fixed seeds (all five gadget
+# templates, all four covert channels) across every out-of-order scheme;
+# exits nonzero on any counterexample to a scheme's blocking claims
+# (mirrors CI; ~30s on 4 workers).
+fuzz-smoke:
+	$(PYTHON) -m repro.cli fuzz run --seeds 40 --jobs 4
 
 # Simulator-speed benchmark: host kilo-cycles/sec with the idle-cycle
 # fast-forward on vs off; refreshes the checked-in BENCH_simspeed.json.

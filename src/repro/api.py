@@ -4,6 +4,11 @@
 and ``run_inorder`` (in-order baseline) split: callers pick the core with
 the ``in_order`` keyword instead of picking a function.  The old names
 remain as thin deprecation shims.
+
+The differential fuzzer's entry points (``run_with_oracle``,
+``run_campaign``, ``run_seed``, ``TaintOracle``, ``LeakWitness``) are
+re-exported here lazily — they resolve to :mod:`repro.fuzz` on first
+attribute access, so plain ``simulate`` users never pay the import.
 """
 
 from __future__ import annotations
@@ -58,3 +63,21 @@ def simulate(
         )
         budget = max_cycles or _DEFAULT_MAX_CYCLES_OOO
     return core.run(max_cycles=budget)
+
+
+#: Fuzzer names served lazily from :mod:`repro.fuzz` (PEP 562).
+_FUZZ_EXPORTS = (
+    "LeakWitness",
+    "TaintOracle",
+    "run_campaign",
+    "run_seed",
+    "run_with_oracle",
+)
+
+
+def __getattr__(name: str):
+    if name in _FUZZ_EXPORTS:
+        import repro.fuzz
+
+        return getattr(repro.fuzz, name)
+    raise AttributeError("module %r has no attribute %r" % (__name__, name))

@@ -38,6 +38,41 @@ N_BYTE_VALUES = 256
 RESULTS_BASE = 0x0300_0000
 SCRATCH_BASE = 0x0310_0000  # link-register save slots etc.
 
+# Victim-side constants shared by several PoCs (and the fuzz generator).
+ARRAY_SIZE = 8  # victim array length used by every bounds-check gadget
+SECRET_OFFSET = 0x1000  # array[SECRET_OFFSET] aliases the secret byte
+
+# Per-attack victim memory maps.  Every PoC gets its own non-overlapping
+# block so that one attack's warm-up can never pollute another's channel
+# when programs are concatenated or compared; the single table below is
+# the one place those block assignments live (the attack modules and the
+# fuzz generator all import from here).
+VICTIM_MAPS = {
+    "spectre_v1_cache": {"array": 0x0050_0000, "size": 0x0051_0000},
+    "spectre_v1_btb": {
+        "array": 0x0052_0000, "size": 0x0053_0000, "table": 0x0054_0000,
+    },
+    "spectre_v2": {"array": 0x0056_0000, "fptr": 0x0057_0000},
+    "gpr_steering": {"secret": 0x0058_0000, "size": 0x0059_0000},
+    "netspectre": {"array": 0x005A_0000, "size": 0x005B_0000},
+    "spectre_icache": {"array": 0x005C_0000, "size": 0x005D_0000},
+    "fuzz": {
+        "array": 0x0060_0000, "size": 0x0061_0000, "table": 0x0062_0000,
+        "slot": 0x0063_0000,
+    },
+    "meltdown": {
+        "kernel": 0x0700_0000, "slow_chain": 0x0071_0000,
+        "flag": 0x0072_0000,
+    },
+    "lazyfp": {"slow_chain": 0x0073_0000},
+    "ssb": {"slot": 0x0080_0000},
+}
+
+
+def victim_map(attack: str) -> dict:
+    """The victim memory-map block assigned to *attack*."""
+    return VICTIM_MAPS[attack]
+
 # Margins for deciding that a timing difference constitutes a leak.
 CACHE_LEAK_MARGIN = 20  # cycles; L1/L2 hit vs DRAM differ by >= ~100
 BTB_LEAK_MARGIN = 5  # cycles; correct vs squashed prediction ~ 10-20

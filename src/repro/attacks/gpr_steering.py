@@ -28,14 +28,16 @@ from repro.attacks.common import (
     emit_probe_flush,
     read_timings,
     run_attack,
+    victim_map,
 )
 from repro.config import SimConfig
 from repro.isa.assembler import Assembler
 from repro.isa.program import Program
 from repro.isa.registers import R0, R10, R11, R12, R13, R20, R21
 
-SECRET_ADDR = 0x0058_0000
-SIZE_ADDR = 0x0059_0000
+_MAP = victim_map("gpr_steering")
+SECRET_ADDR = _MAP["secret"]
+SIZE_ADDR = _MAP["size"]
 BOUND = 8
 TRAIN_CALLS = 5
 

@@ -25,6 +25,7 @@ from repro.attacks.common import (
     emit_probe_flush,
     read_timings,
     run_attack,
+    victim_map,
 )
 from repro.config import SimConfig
 from repro.isa.assembler import Assembler
@@ -32,7 +33,7 @@ from repro.isa.program import Program
 from repro.isa.registers import R9, R10, R12, R13, R20, R21
 
 SECRET_MSR = 0x10  # pretend: an AVX register holding another process's key
-SLOW_CHAIN = 0x0073_0000
+SLOW_CHAIN = victim_map("lazyfp")["slow_chain"]
 
 
 def build_program(

@@ -27,17 +27,19 @@ from repro.attacks.common import (
     emit_probe_flush,
     read_timings,
     run_attack,
+    victim_map,
 )
 from repro.config import SimConfig
 from repro.isa.assembler import Assembler
 from repro.isa.program import Program
 from repro.isa.registers import R0, R9, R10, R12, R13, R20, R21, R26
 
-KERNEL_BASE = 0x0700_0000
+_MAP = victim_map("meltdown")
+KERNEL_BASE = _MAP["kernel"]
 KERNEL_SIZE = 4096
 KERNEL_SECRET = KERNEL_BASE + 0x80
-SLOW_CHAIN = 0x0071_0000  # two dependent, flushed loads: the retire anchor
-FLAG_ADDR = 0x0072_0000  # 0 = warm-up fault, 1 = attack fault
+SLOW_CHAIN = _MAP["slow_chain"]  # two dependent, flushed loads: the retire anchor
+FLAG_ADDR = _MAP["flag"]  # 0 = warm-up fault, 1 = attack fault
 
 
 def build_program(

@@ -22,13 +22,16 @@ from __future__ import annotations
 from typing import List, Optional
 
 from repro.attacks.common import (
+    ARRAY_SIZE,
     BTB_LEAK_MARGIN,
     RESULTS_BASE,
     SCRATCH_BASE,
+    SECRET_OFFSET,
     AttackOutcome,
     default_guesses,
     read_timings,
     run_attack,
+    victim_map,
 )
 from repro.config import SimConfig
 from repro.isa.assembler import Assembler
@@ -37,12 +40,11 @@ from repro.isa.registers import (
     LR, R0, R10, R11, R14, R20, R21, R22, R23, R24, R26,
 )
 
-ARRAY_BASE = 0x0052_0000
-ARRAY_SIZE = 8
-SIZE_ADDR = 0x0053_0000
-SECRET_OFFSET = 0x1000
+_MAP = victim_map("spectre_v1_btb")
+ARRAY_BASE = _MAP["array"]
+SIZE_ADDR = _MAP["size"]
 SECRET_ADDR = ARRAY_BASE + SECRET_OFFSET
-TARGETS_TABLE = 0x0054_0000  # 256 function pointers
+TARGETS_TABLE = _MAP["table"]  # 256 function pointers
 LR_SAVE_JUMP = SCRATCH_BASE + 0x100
 LR_SAVE_VICTIM = SCRATCH_BASE + 0x108
 N_TARGETS = 256

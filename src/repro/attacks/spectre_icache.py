@@ -19,9 +19,12 @@ from __future__ import annotations
 from typing import List, Optional
 
 from repro.attacks.common import (
+    ARRAY_SIZE,
     RESULTS_BASE,
+    SECRET_OFFSET,
     BitChannelOutcome,
     run_attack,
+    victim_map,
 )
 from repro.config import SimConfig
 from repro.isa.assembler import Assembler
@@ -30,10 +33,9 @@ from repro.isa.registers import (
     R0, R10, R11, R15, R20, R21, R22, R23, R24, R26,
 )
 
-ARRAY_BASE = 0x005C_0000
-ARRAY_SIZE = 8
-SIZE_ADDR = 0x005D_0000
-SECRET_OFFSET = 0x1000
+_MAP = victim_map("spectre_icache")
+ARRAY_BASE = _MAP["array"]
+SIZE_ADDR = _MAP["size"]
 SECRET_ADDR = ARRAY_BASE + SECRET_OFFSET
 TRAIN_CALLS = 4
 N_BITS = 8

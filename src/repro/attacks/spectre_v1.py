@@ -17,25 +17,27 @@ from __future__ import annotations
 from typing import List, Optional
 
 from repro.attacks.common import (
+    ARRAY_SIZE,
     CACHE_LEAK_MARGIN,
     PROBE_BASE,
     PROBE_STRIDE,
+    SECRET_OFFSET,
     AttackOutcome,
     default_guesses,
     emit_cache_recover,
     emit_probe_flush,
     read_timings,
     run_attack,
+    victim_map,
 )
 from repro.config import SimConfig
 from repro.isa.assembler import Assembler
 from repro.isa.program import Program
 from repro.isa.registers import R0, R10, R11, R12, R13, R20, R21
 
-ARRAY_BASE = 0x0050_0000
-ARRAY_SIZE = 8
-SIZE_ADDR = 0x0051_0000
-SECRET_OFFSET = 0x1000  # array[SECRET_OFFSET] aliases the secret byte
+_MAP = victim_map("spectre_v1_cache")
+ARRAY_BASE = _MAP["array"]
+SIZE_ADDR = _MAP["size"]
 SECRET_ADDR = ARRAY_BASE + SECRET_OFFSET
 TRAIN_CALLS = 6
 

@@ -27,14 +27,16 @@ from repro.attacks.common import (
     emit_probe_flush,
     read_timings,
     run_attack,
+    victim_map,
 )
 from repro.config import SimConfig
 from repro.isa.assembler import Assembler
 from repro.isa.program import Program
 from repro.isa.registers import LR, R10, R11, R12, R13, R20, R21, R24, R28
 
-ARRAY_BASE = 0x0056_0000
-FPTR_ADDR = 0x0057_0000
+_MAP = victim_map("spectre_v2")
+ARRAY_BASE = _MAP["array"]
+FPTR_ADDR = _MAP["fptr"]
 LR_SAVE = SCRATCH_BASE + 0x200
 BENIGN_INDEX = 0
 BENIGN_VALUE = 7

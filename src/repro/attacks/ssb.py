@@ -27,6 +27,7 @@ from repro.attacks.common import (
     emit_probe_flush,
     read_timings,
     run_attack,
+    victim_map,
 )
 from repro.config import SimConfig
 from repro.isa.assembler import Assembler
@@ -35,7 +36,7 @@ from repro.isa.registers import (
     R10, R12, R13, R16, R17, R18, R19, R20, R21,
 )
 
-SLOT_ADDR = 0x0080_0000  # holds the secret until the store lands
+SLOT_ADDR = victim_map("ssb")["slot"]  # holds the secret until the store lands
 PUBLIC_VALUE = 201  # excluded from the guess list: its probe line is
 # legitimately touched by the squash-replay of the transmit sequence.
 

@@ -13,6 +13,9 @@ Subcommands::
     nda-repro config ooo             # describe one configuration
     nda-repro config list            # registered schemes + named configs
     nda-repro cache info|clear       # inspect/drop the result cache
+    nda-repro fuzz run --seeds 200 --jobs 8   # differential leak fuzzing
+    nda-repro fuzz replay 7 --config strict   # one seed on one config
+    nda-repro fuzz minimize 7 --output w.json # ddmin to a reproducer
 
 Sweeps (``bench``/``figure``) run on the parallel suite engine and cache
 windows under ``results/.cache/``; use ``--jobs N`` to size the worker
@@ -183,6 +186,56 @@ def _build_parser() -> argparse.ArgumentParser:
     figure.add_argument("--samples", type=int, default=3)
     _add_engine_args(figure)
 
+    fuzz = sub.add_parser(
+        "fuzz", help="differential speculative-leak fuzzing"
+    )
+    fuzz_sub = fuzz.add_subparsers(dest="fuzz_command", required=True)
+
+    fuzz_run = fuzz_sub.add_parser(
+        "run", help="run a differential campaign (seeds x configs)"
+    )
+    fuzz_run.add_argument("--seeds", type=int, default=50, metavar="N",
+                          help="number of fuzz seeds (default: 50)")
+    fuzz_run.add_argument("--seed0", type=int, default=0, metavar="S",
+                          help="first seed (default: 0)")
+    fuzz_run.add_argument(
+        "--configs", nargs="*", default=None, choices=_CONFIG_NAMES,
+        metavar="NAME",
+        help="restrict the campaign to these configurations "
+             "(default: every out-of-order one)",
+    )
+    fuzz_run.add_argument(
+        "--jobs", type=int, default=None, metavar="N",
+        help="worker processes (default: cpu count)",
+    )
+    fuzz_run.add_argument("--max-cycles", type=int, default=400_000)
+
+    fuzz_replay = fuzz_sub.add_parser(
+        "replay", help="re-run one seed or corpus file on one config"
+    )
+    fuzz_replay.add_argument(
+        "what", metavar="SEED|FILE",
+        help="a fuzz seed number, or a witness corpus JSON file",
+    )
+    fuzz_replay.add_argument(
+        "--config", default="ooo", choices=_CONFIG_NAMES
+    )
+
+    fuzz_min = fuzz_sub.add_parser(
+        "minimize", help="ddmin a leaking seed to a minimal reproducer"
+    )
+    fuzz_min.add_argument("seed", type=int)
+    fuzz_min.add_argument(
+        "--output", default=None, metavar="FILE",
+        help="write the minimized witness as a corpus JSON file",
+    )
+    fuzz_min.add_argument(
+        "--blocked-under", nargs="*", default=["full-protection"],
+        choices=_CONFIG_NAMES, metavar="NAME",
+        help="configs the minimized program must NOT leak under",
+    )
+    fuzz_min.add_argument("--max-tests", type=int, default=400)
+
     return parser
 
 
@@ -332,6 +385,94 @@ def main(argv: Optional[List[str]] = None) -> int:
 
     if args.command == "figure":
         return _figure(args)
+
+    if args.command == "fuzz":
+        return _fuzz(args)
+
+    return 2
+
+
+def _fuzz(args) -> int:
+    import repro.fuzz as fuzz_mod
+
+    if args.fuzz_command == "run":
+        def progress(done, total, _result):
+            if done % 25 == 0 or done == total:
+                sys.stderr.write("\r[%d/%d]" % (done, total))
+                sys.stderr.flush()
+                if done == total:
+                    sys.stderr.write("\n")
+
+        campaign = fuzz_mod.run_campaign(
+            range(args.seed0, args.seed0 + args.seeds),
+            config_names=args.configs,
+            jobs=args.jobs,
+            progress=progress,
+            max_cycles=args.max_cycles,
+        )
+        print(campaign.describe())
+        return 0 if campaign.ok else 1
+
+    if args.fuzz_command == "replay":
+        spec = config_registry()[args.config]
+        if args.what.isdigit():
+            run = fuzz_mod.run_seed(int(args.what), args.config)
+            witnesses = run.witnesses
+            print(
+                "seed %d [%s -> %s] on %s: %d witnesses, %d cycles"
+                % (run.seed, run.template, run.channel, args.config,
+                   len(witnesses), run.cycles)
+            )
+        else:
+            entry = fuzz_mod.load_witness_file(args.what)
+            _, witnesses = fuzz_mod.run_with_oracle(
+                entry["program"], spec.config,
+                secret_ranges=entry["secret_ranges"],
+                tainted_bytes=entry["tainted_bytes"],
+            )
+            print(
+                "%s (%s) on %s: %d witnesses"
+                % (args.what, entry["meta"].get("channel", "?"),
+                   args.config, len(witnesses))
+            )
+        for witness in witnesses:
+            print("  %s" % (witness.to_dict(),))
+        return 0
+
+    if args.fuzz_command == "minimize":
+        fp = fuzz_mod.generate(args.seed)
+        predicate = fuzz_mod.differential_predicate(
+            secret_ranges=fp.secret_ranges,
+            tainted_bytes=fp.tainted_bytes,
+            channel=fp.channel,
+            blocked_under=args.blocked_under,
+        )
+        try:
+            result = fuzz_mod.minimize_program(
+                fp.program, predicate, max_tests=args.max_tests
+            )
+        except ValueError as error:
+            print("seed %d [%s]: %s" % (args.seed, fp.template, error))
+            return 2
+        print("seed %d [%s/%s]: %s"
+              % (args.seed, fp.template, fp.channel, result.describe()))
+        if args.output:
+            fuzz_mod.save_witness_file(
+                args.output, result.program,
+                meta={
+                    "template": fp.template,
+                    "channel": fp.channel,
+                    "seed": args.seed,
+                    "analog": fp.analog,
+                    "config_name": "ooo",
+                    "original_size": result.original_size,
+                    "minimized_size": result.size,
+                },
+                secret_ranges=fp.secret_ranges,
+                tainted_bytes=fp.tainted_bytes,
+            )
+            print("wrote %s" % args.output)
+        return 0
 
     return 2
 

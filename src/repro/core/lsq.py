@@ -66,6 +66,9 @@ class LSQ:
         self.forwards = 0
         self.bypasses = 0
         self.violations = 0
+        # Optional callable(load, store) fired on store-to-load
+        # forwarding; used by the fuzzing taint oracle (repro.fuzz).
+        self.taint_hook = None
 
     # ------------------------------------------------------------------ #
     # Occupancy.
@@ -130,6 +133,8 @@ class LSQ:
                     return LoadDecision(LoadAction.WAIT)
                 value = _extract(store, load)
                 self.forwards += 1
+                if self.taint_hook is not None:
+                    self.taint_hook(load, store)
                 return LoadDecision(
                     LoadAction.FORWARD,
                     value=value,

@@ -120,6 +120,11 @@ class OutOfOrderCore:
         self._last_commit_cycle = 0
         # Optional PipelineTracer (see repro.debug.trace).
         self.tracer = None
+        # Optional TaintOracle (see repro.fuzz.taint).  Like the tracer
+        # it is a pure observer: every hook below is guarded by an
+        # is-None test, so the hot path and the idle-cycle fast-forward
+        # are unaffected when no oracle is attached.
+        self.taint = None
 
     # ================================================================== #
     # Public driving interface.
@@ -411,6 +416,9 @@ class OutOfOrderCore:
         instr = entry.instr
         op = instr.op
         info = instr.info
+        taint = self.taint
+        if taint is not None:
+            taint.exec_ctx = entry  # attributes BTB installs to *entry*
 
         if info.is_branch:
             self._resolve_branch(entry, now)
@@ -440,6 +448,9 @@ class OutOfOrderCore:
         entry.complete_cycle = now
         if entry.phys_dest is not None and entry.result is not None:
             self.prf.write(entry.phys_dest, entry.result)
+        if taint is not None:
+            taint.exec_ctx = None
+            taint.on_complete(entry)
         self._try_broadcast(entry, now)
 
     def _try_broadcast(self, entry: DynInstr, now: int) -> None:
@@ -559,15 +570,20 @@ class OutOfOrderCore:
     def _squash_after(self, seq: int, target_pc: int, refetch_cycle: int):
         """Discard every instruction younger than *seq* and refetch."""
         removed = self.rob.squash_younger(seq)
+        taint = self.taint
         for entry in removed:  # youngest first: rollback works in order
             if entry.phys_dest is not None:
                 self.rat.rollback(
                     entry.instr.rd, entry.phys_dest, entry.prev_phys
                 )
             self.protection.on_squash(entry)
+            if taint is not None:
+                taint.on_squash(entry)
         self.iq.remove_squashed()
         self.lsq.remove_squashed()
         self.protection.after_squash()
+        if taint is not None:
+            taint.after_squash(seq)
         self._pending_mem = [
             item for item in self._pending_mem if not item[2].squashed
         ]
@@ -594,6 +610,7 @@ class OutOfOrderCore:
         pending = self._pending_mem
         if not pending or pending[0][0] > now:
             return
+        taint = self.taint
         ready: List[DynInstr] = []
         while pending and pending[0][0] <= now:
             _, _, entry = heapq.heappop(pending)
@@ -622,6 +639,8 @@ class OutOfOrderCore:
                 entry.forwarded_from = decision.forwarded_from
                 entry.bypassed_stores = decision.bypassed_stores or None
                 value = decision.value
+                if taint is not None:
+                    taint.on_load_executed(entry, from_memory=False)
                 self._finish_load(entry, value, now, latency=1)
                 continue
             # MEMORY access: gated by the L1D port count.
@@ -632,12 +651,17 @@ class OutOfOrderCore:
             entry.data_obtained = True
             entry.bypassed_stores = decision.bypassed_stores or None
             invisible = self.protection.load_executes_invisibly(entry)
+            if taint is not None:
+                taint.exec_ctx = entry  # attributes d-cache fills
             result = self.hierarchy.data_access(
                 entry.addr, now, fill=not invisible, pc=entry.pc
             )
             if invisible:
                 self.protection.on_invisible_load(entry, result, now)
             value = self._load_value(entry)
+            if taint is not None:
+                taint.exec_ctx = None
+                taint.on_load_executed(entry, from_memory=True)
             self._finish_load(entry, value, now, latency=result.latency)
 
     def _load_value(self, entry: DynInstr) -> int:
@@ -672,6 +696,7 @@ class OutOfOrderCore:
     def _issue(self, now: int) -> None:
         width = self.config.core.issue_width
         selected = self.iq.select(now, width, self.fus, self._may_issue)
+        taint = self.taint
         for entry in selected:
             entry.issued = True
             entry.issue_cycle = now
@@ -681,6 +706,8 @@ class OutOfOrderCore:
             self.stats.issued += 1
             self._issued_this_cycle += 1
             instr = entry.instr
+            if taint is not None:
+                taint.on_issue(entry, now)
             if entry.is_load:
                 entry.addr = (entry.src_vals[0] + instr.imm) & U64_MASK
                 heapq.heappush(
@@ -796,6 +823,8 @@ class OutOfOrderCore:
                 head.issue_cycle - head.dispatch_cycle
             )
         self.protection.on_commit(head, now)
+        if self.taint is not None:
+            self.taint.on_commit(head)
         if self.tracer is not None:
             self.tracer.retired(head, now)
 

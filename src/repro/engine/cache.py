@@ -30,7 +30,10 @@ from repro.stats.counters import PipelineStats
 #: that alters results without changing any SimConfig field.
 #: Schema 2: scheme registry refactor (string scheme names + per-scheme
 #: parameter blocks folded into SimConfig.cache_key()).
-CACHE_SCHEMA = 2
+#: Schema 3: workload generator data-RNG derivation changed to
+#: collision-free string sub-seeding (same (benchmark, seed) job now
+#: measures a different generated data image).
+CACHE_SCHEMA = 3
 
 
 def _code_version() -> str:

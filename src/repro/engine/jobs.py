@@ -62,6 +62,14 @@ class SimJob:
             self.benchmark, self.label, self.sample_index, self.seed,
         )
 
+    def execute(self) -> PipelineStats:
+        """Run this job's measurement window (in the current process)."""
+        program = spec_program(self.benchmark, self.instructions, self.seed)
+        return run_window(
+            program, self.config, self.warmup, self.measure,
+            in_order=self.in_order,
+        )
+
 
 def expand_jobs(
     benchmarks: Sequence[str],
@@ -97,19 +105,22 @@ class JobResult:
     """One executed (or cache-served) job window."""
 
     job: SimJob
-    window: PipelineStats
+    window: object  # PipelineStats for SimJob; job-defined otherwise
     elapsed: float = 0.0
     from_cache: bool = False
     retried: bool = False
 
 
-def execute_job(job: SimJob) -> JobResult:
-    """Run one job to completion (this is the per-worker entry point)."""
+def execute_job(job) -> JobResult:
+    """Run one job to completion (this is the per-worker entry point).
+
+    Any picklable object with ``coordinates``, ``describe()`` and
+    ``execute()`` runs through the engine unchanged — the fuzzing
+    campaign's :class:`repro.fuzz.campaign.FuzzJob` is the second
+    implementation next to :class:`SimJob`.
+    """
     start = time.perf_counter()
-    program = spec_program(job.benchmark, job.instructions, job.seed)
-    window = run_window(
-        program, job.config, job.warmup, job.measure, in_order=job.in_order
-    )
+    window = job.execute()
     return JobResult(
         job=job, window=window, elapsed=time.perf_counter() - start
     )

@@ -39,6 +39,9 @@ class BTB:
         self.lookups = 0
         self.hits = 0
         self.updates = 0
+        # Optional callable target with on_btb_update(pc, target); used
+        # by the fuzzing taint oracle (repro.fuzz).
+        self.observer = None
 
     def _index(self, pc: int) -> int:
         return pc & self._set_mask
@@ -64,6 +67,8 @@ class BTB:
         wrong-path included.
         """
         self.updates += 1
+        if self.observer is not None:
+            self.observer.on_btb_update(pc, target)
         index = self._index(pc)
         targets = self._targets[index]
         ways = self._ways[index]

@@ -1,0 +1,143 @@
+"""Witness corpus: JSON round-trip for minimized fuzz reproducers.
+
+A corpus file is one self-contained differential test case: the full
+program (instructions, data image, privileged ranges, MSRs, initial
+registers), the oracle configuration it needs (secret ranges / tainted
+bytes), and provenance metadata (template, channel, seed, taxonomy
+analog).  ``tests/golden/fuzz_corpus/`` holds one file per covert
+channel; the replay test re-runs each under the unprotected baseline
+(must leak on the recorded channel) and under full NDA (must not leak).
+
+Schema (``"schema": 1``)::
+
+    {
+      "schema": 1,
+      "meta": {"template": ..., "channel": ..., "seed": ...,
+               "analog": ..., "config_name": ...},
+      "oracle": {"secret_ranges": [[lo, hi], ...],
+                 "tainted_bytes": [addr, ...]},
+      "program": {
+        "name": ...,
+        "instrs": [{"op": "LOAD", "rd": 21, "rs1": 21, "imm": 0,
+                    "target": null}, ...],
+        "data": {"4259840": "002a..."},        # addr -> hex bytes
+        "privileged": [[lo, hi], ...],
+        "msrs": {"1": 99},
+        "fault_handler": null,
+        "initial_regs": {"2": 7}
+      }
+    }
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Dict, Tuple
+
+from repro.isa.instruction import Instr, Opcode
+from repro.isa.program import Program
+
+
+def instr_to_dict(instr: Instr) -> dict:
+    srcs = instr.srcs
+    return {
+        "op": instr.op.name,
+        "rd": instr.rd,
+        "rs1": srcs[0] if len(srcs) > 0 else None,
+        "rs2": srcs[1] if len(srcs) > 1 else None,
+        "imm": instr.imm,
+        "target": instr.target,
+    }
+
+
+def instr_from_dict(payload: dict) -> Instr:
+    return Instr(
+        Opcode[payload["op"]],
+        rd=payload.get("rd"),
+        rs1=payload.get("rs1"),
+        rs2=payload.get("rs2"),
+        imm=payload.get("imm", 0),
+        target=payload.get("target"),
+    )
+
+
+def program_to_dict(program: Program) -> dict:
+    return {
+        "name": program.name,
+        "instrs": [instr_to_dict(i) for i in program.instrs],
+        "data": {
+            str(addr): blob.hex() for addr, blob in sorted(
+                program.data.items()
+            )
+        },
+        "privileged": [list(r) for r in program.privileged],
+        "msrs": {str(k): v for k, v in sorted(program.msrs.items())},
+        "fault_handler": program.fault_handler,
+        "initial_regs": {
+            str(k): v for k, v in sorted(program.initial_regs.items())
+        },
+    }
+
+
+def program_from_dict(payload: dict) -> Program:
+    return Program(
+        [instr_from_dict(i) for i in payload["instrs"]],
+        data={
+            int(addr): bytes.fromhex(blob)
+            for addr, blob in payload.get("data", {}).items()
+        },
+        privileged=[tuple(r) for r in payload.get("privileged", [])],
+        msrs={int(k): v for k, v in payload.get("msrs", {}).items()},
+        fault_handler=payload.get("fault_handler"),
+        initial_regs={
+            int(k): v for k, v in payload.get("initial_regs", {}).items()
+        },
+        name=payload.get("name", "corpus"),
+    )
+
+
+def save_witness_file(
+    path,
+    program: Program,
+    *,
+    meta: Dict[str, object],
+    secret_ranges: Tuple[Tuple[int, int], ...] = (),
+    tainted_bytes: Tuple[int, ...] = (),
+) -> None:
+    """Write one corpus entry (pretty-printed, key-sorted, stable)."""
+    payload = {
+        "schema": 1,
+        "meta": dict(meta),
+        "oracle": {
+            "secret_ranges": [list(r) for r in secret_ranges],
+            "tainted_bytes": list(tainted_bytes),
+        },
+        "program": program_to_dict(program),
+    }
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    path.write_text(json.dumps(payload, indent=1, sort_keys=True) + "\n")
+
+
+def load_witness_file(path) -> dict:
+    """Load one corpus entry.
+
+    Returns ``{"program": Program, "meta": dict,
+    "secret_ranges": tuple, "tainted_bytes": tuple}``.
+    """
+    payload = json.loads(Path(path).read_text())
+    if payload.get("schema") != 1:
+        raise ValueError(
+            "unsupported corpus schema %r in %s"
+            % (payload.get("schema"), path)
+        )
+    oracle = payload.get("oracle", {})
+    return {
+        "program": program_from_dict(payload["program"]),
+        "meta": payload.get("meta", {}),
+        "secret_ranges": tuple(
+            tuple(r) for r in oracle.get("secret_ranges", [])
+        ),
+        "tainted_bytes": tuple(oracle.get("tainted_bytes", [])),
+    }

@@ -1,0 +1,204 @@
+"""Witness minimization: ddmin over a leaking program's instructions.
+
+Generated fuzz programs carry training loops, warm-up loads and ALU
+filler that are irrelevant to the leak they witnessed.  The minimizer
+shrinks a program to (near-)1-minimal form with classic delta debugging
+[Zeller/Hildebrandt 2002]: repeatedly try removing chunks of the
+instruction stream, keep any removal after which the *predicate* still
+holds, and halve the chunk size when no chunk can go.
+
+Removing instructions shifts every later PC, so each candidate remaps
+static branch/call targets (and the fault handler) across the removed
+set; a candidate that would orphan a branch target is rejected without
+simulating.  Indirect targets (JR/CALLR through a register) and PCs
+baked into immediates or data words cannot be remapped statically —
+removals that break them simply fail the predicate and are rolled back,
+which is the ddmin contract: the predicate is the only oracle.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, List, Optional, Sequence, Tuple
+
+from repro.config import config_registry
+from repro.isa.instruction import Instr
+from repro.isa.program import Program
+from repro.fuzz.taint import run_with_oracle
+
+#: A predicate deciding whether a candidate still reproduces the bug.
+Predicate = Callable[[Program], bool]
+
+
+def rebuild(program: Program, keep: Sequence[int]) -> Optional[Program]:
+    """*program* restricted to the instruction indices in *keep*.
+
+    Returns ``None`` when the subset is not statically linkable: empty,
+    a kept branch targets a removed instruction, or the fault handler
+    was removed.
+    """
+    if not keep:
+        return None
+    keep = sorted(keep)
+    new_pc = {old: new for new, old in enumerate(keep)}
+
+    fault_handler = program.fault_handler
+    if fault_handler is not None:
+        if fault_handler not in new_pc:
+            return None
+        fault_handler = new_pc[fault_handler]
+
+    instrs: List[Instr] = []
+    for old in keep:
+        instr = program.instrs[old]
+        target = instr.target
+        if target is not None:
+            if target not in new_pc:
+                return None
+            target = new_pc[target]
+        srcs = instr.srcs
+        instrs.append(Instr(
+            instr.op,
+            rd=instr.rd,
+            rs1=srcs[0] if len(srcs) > 0 else None,
+            rs2=srcs[1] if len(srcs) > 1 else None,
+            imm=instr.imm,
+            target=target,
+        ))
+    return Program(
+        instrs,
+        data=program.data,
+        privileged=program.privileged,
+        msrs=program.msrs,
+        fault_handler=fault_handler,
+        initial_regs=program.initial_regs,
+        name=program.name + ".min",
+    )
+
+
+def differential_predicate(
+    secret_ranges: Tuple[Tuple[int, int], ...] = (),
+    tainted_bytes: Tuple[int, ...] = (),
+    channel: Optional[str] = None,
+    leak_under: str = "ooo",
+    blocked_under: Sequence[str] = ("full-protection",),
+    max_cycles: int = 20_000,
+) -> Predicate:
+    """The standard witness predicate: still leaks where it should, still
+    blocked where the scheme claims.
+
+    True iff the candidate produces at least one witness (on *channel*,
+    when given) under *leak_under* AND zero witnesses under every config
+    in *blocked_under*.  Keeping the blocked side in the predicate means
+    a minimized reproducer stays a *differential* test case, not just a
+    leak.
+
+    ``max_cycles`` is deliberately tight: removing a branch often turns
+    a candidate into an endless loop, and the cap is what makes those
+    candidates *cheap* rejections instead of 200k-cycle burns.  Witness
+    programs finish in a few thousand cycles, far under the default.
+    """
+    registry = config_registry()
+    leak_spec = registry[leak_under]
+    blocked_specs = [registry[name] for name in blocked_under]
+
+    def predicate(candidate: Program) -> bool:
+        try:
+            _, witnesses = run_with_oracle(
+                candidate, leak_spec.config,
+                secret_ranges=secret_ranges,
+                tainted_bytes=tainted_bytes,
+                max_cycles=max_cycles,
+            )
+            if channel is not None:
+                witnesses = [w for w in witnesses if w.channel == channel]
+            if not witnesses:
+                return False
+            for spec in blocked_specs:
+                _, blocked_wits = run_with_oracle(
+                    candidate, spec.config,
+                    secret_ranges=secret_ranges,
+                    tainted_bytes=tainted_bytes,
+                    max_cycles=max_cycles,
+                )
+                if blocked_wits:
+                    return False
+            return True
+        except Exception:
+            # Unlinkable / diverging candidates are simply "not the bug".
+            return False
+
+    return predicate
+
+
+@dataclass
+class MinimizeResult:
+    """Outcome of one ddmin run."""
+
+    program: Program
+    kept: Tuple[int, ...]  # surviving indices into the original program
+    original_size: int
+    tests: int  # predicate evaluations spent
+
+    @property
+    def size(self) -> int:
+        return len(self.kept)
+
+    def describe(self) -> str:
+        return "minimized %d -> %d instructions (%d predicate runs)" % (
+            self.original_size, self.size, self.tests,
+        )
+
+
+def minimize_program(
+    program: Program,
+    predicate: Predicate,
+    max_tests: int = 400,
+) -> MinimizeResult:
+    """Shrink *program* while *predicate* keeps holding.
+
+    ``predicate(program)`` must be True on entry (raises ``ValueError``
+    otherwise — minimizing a non-reproducer silently would hand back
+    garbage).  ``max_tests`` bounds predicate evaluations, so worst-case
+    runtime is predictable; the result is 1-minimal only if ddmin
+    converges within the budget.
+    """
+    if not predicate(program):
+        raise ValueError(
+            "predicate does not hold on the input program; nothing to "
+            "minimize"
+        )
+    tests = 1
+    kept: List[int] = list(range(len(program.instrs)))
+    granularity = 2
+
+    while len(kept) >= 2 and tests < max_tests:
+        chunk = max(1, len(kept) // granularity)
+        reduced = False
+        start = 0
+        while start < len(kept) and tests < max_tests:
+            candidate_keep = kept[:start] + kept[start + chunk:]
+            candidate = rebuild(program, candidate_keep)
+            if candidate is not None:
+                tests += 1
+                if predicate(candidate):
+                    kept = candidate_keep
+                    granularity = max(granularity - 1, 2)
+                    reduced = True
+                    # Re-test from the same offset: the next chunk now
+                    # sits where the removed one was.
+                    continue
+            start += chunk
+        if not reduced:
+            if chunk == 1:
+                break  # 1-minimal
+            granularity = min(len(kept), granularity * 2)
+
+    final = rebuild(program, kept)
+    assert final is not None  # kept is never emptied past a passing state
+    return MinimizeResult(
+        program=final,
+        kept=tuple(kept),
+        original_size=len(program.instrs),
+        tests=tests,
+    )

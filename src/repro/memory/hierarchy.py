@@ -66,6 +66,11 @@ class MemoryHierarchy:
         # Completion cycles of in-flight off-chip misses (MLP + MSHR model).
         self._offchip: List[int] = []
         self.offchip_misses = 0
+        # Optional fill observer with on_data_fill(addr, now) and
+        # on_inst_fill(addr, now); used by the fuzzing taint oracle
+        # (repro.fuzz).  Fired only on demand-miss fills, never on
+        # prefetches or invisible probes.
+        self.observer = None
 
     # ------------------------------------------------------------------ #
     # MSHR bookkeeping.
@@ -144,6 +149,8 @@ class MemoryHierarchy:
         latency = self.dtlb.access(addr) if translate else 0
         if fill:
             l1_hit = self.l1d.access(addr, fill=True)
+            if not l1_hit and self.observer is not None:
+                self.observer.on_data_fill(addr, now)
         else:
             l1_hit = self.l1d.probe(addr)
             # count it for stats without disturbing state
@@ -190,6 +197,8 @@ class MemoryHierarchy:
         if self.l1i.access(addr, fill=True):
             return AccessResult(self.config.l1i.round_trip_cycles,
                                 True, False, False)
+        if self.observer is not None:
+            self.observer.on_inst_fill(addr, now)
         latency = self.config.l2.round_trip_cycles
         if self.l2.access(addr, fill=True):
             return AccessResult(latency, False, True, False)

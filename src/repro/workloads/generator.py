@@ -291,7 +291,13 @@ def generate_program(
     # ------------------------------------------------------------------ #
     # Data image.
     # ------------------------------------------------------------------ #
-    data_rng = random.Random(seed * 7919 + 13)
+    # Sub-RNG derivation: a distinct string stream per (seed, purpose).
+    # The previous affine derivation (seed * 7919 + 13) interleaves the
+    # Mersenne Twister seed space, so nearby seeds can produce correlated
+    # data images; string seeds hash through SHA-512 (never through
+    # PYTHONHASHSEED-randomized ``hash()``, which tuple seeds would use),
+    # so they are both well-mixed and stable across processes.
+    data_rng = random.Random("%d/data" % seed)
     asm.data(HOT_BASE, bytes(data_rng.randrange(256) for _ in range(HOT_SIZE)))
     seed_region = min(ws_size, 64 * 1024)
     asm.data(

@@ -1,0 +1,98 @@
+"""Corpus round-trip and golden witness replay.
+
+The golden corpus (one minimized reproducer per covert channel, plus a
+second d-cache entry for the store-bypass access class) is the fuzzer's
+permanent regression net: each program must keep leaking on its recorded
+channel under the unprotected baseline and stay silent under full NDA.
+
+Regenerate an entry with::
+
+    PYTHONPATH=src python -m repro.cli fuzz minimize <seed> \
+        --output tests/golden/fuzz_corpus/<channel>-<template>.json
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+import pytest
+
+from repro.config import config_registry
+from repro.fuzz import (
+    generate,
+    load_witness_file,
+    run_with_oracle,
+    save_witness_file,
+)
+from repro.fuzz.corpus import program_from_dict, program_to_dict
+
+CORPUS_DIR = Path(__file__).parent / "golden" / "fuzz_corpus"
+CORPUS_FILES = sorted(CORPUS_DIR.glob("*.json"))
+
+
+class TestRoundTrip:
+    def test_program_dict_round_trip(self):
+        fp = generate(1)  # indirect-table: data blobs, targets, calls
+        rebuilt = program_from_dict(program_to_dict(fp.program))
+        assert program_to_dict(rebuilt) == program_to_dict(fp.program)
+
+    def test_witness_file_round_trip(self, tmp_path):
+        fp = generate(2)
+        path = tmp_path / "witness.json"
+        meta = {"template": fp.template, "channel": fp.channel, "seed": 2}
+        save_witness_file(
+            path, fp.program,
+            meta=meta,
+            secret_ranges=fp.secret_ranges,
+            tainted_bytes=fp.tainted_bytes,
+        )
+        entry = load_witness_file(path)
+        assert entry["meta"] == meta
+        assert entry["secret_ranges"] == fp.secret_ranges
+        assert entry["tainted_bytes"] == fp.tainted_bytes
+        assert program_to_dict(entry["program"]) == program_to_dict(
+            fp.program
+        )
+
+    def test_unknown_schema_rejected(self, tmp_path):
+        path = tmp_path / "bad.json"
+        path.write_text(json.dumps({"schema": 99}))
+        with pytest.raises(ValueError):
+            load_witness_file(path)
+
+
+class TestGoldenCorpus:
+    def test_corpus_is_present(self):
+        assert len(CORPUS_FILES) >= 5
+        channels = {
+            load_witness_file(path)["meta"]["channel"]
+            for path in CORPUS_FILES
+        }
+        assert channels == {"d-cache", "i-cache", "btb", "fpu"}
+
+    @pytest.mark.parametrize(
+        "path", CORPUS_FILES, ids=[p.stem for p in CORPUS_FILES]
+    )
+    def test_leaks_under_baseline(self, path):
+        entry = load_witness_file(path)
+        _, witnesses = run_with_oracle(
+            entry["program"], config_registry()["ooo"].config,
+            secret_ranges=entry["secret_ranges"],
+            tainted_bytes=entry["tainted_bytes"],
+        )
+        assert any(
+            w.channel == entry["meta"]["channel"] for w in witnesses
+        ), "golden witness no longer leaks on its recorded channel"
+
+    @pytest.mark.parametrize(
+        "path", CORPUS_FILES, ids=[p.stem for p in CORPUS_FILES]
+    )
+    def test_blocked_under_full_nda(self, path):
+        entry = load_witness_file(path)
+        _, witnesses = run_with_oracle(
+            entry["program"], config_registry()["full-protection"].config,
+            secret_ranges=entry["secret_ranges"],
+            tainted_bytes=entry["tainted_bytes"],
+        )
+        assert witnesses == [], "full NDA no longer blocks a golden witness"

@@ -1,0 +1,93 @@
+"""ddmin minimizer: target remapping, predicate discipline, end-to-end."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.fuzz import (
+    differential_predicate,
+    generate,
+    minimize_program,
+    run_with_oracle,
+)
+from repro.config import config_registry
+from repro.fuzz.minimize import rebuild
+from repro.isa.assembler import Assembler
+from repro.isa.registers import R1, R2
+
+
+def _branchy_program():
+    asm = Assembler("mini")
+    asm.li(R1, 0)          # 0
+    asm.li(R2, 5)          # 1
+    asm.nop()              # 2
+    asm.beq(R1, R1, "end")  # 3 -> 5
+    asm.add(R1, R1, R2)    # 4 (skipped)
+    asm.label("end")
+    asm.halt()             # 5
+    return asm.build()
+
+
+class TestRebuild:
+    def test_targets_shift_across_removals(self):
+        program = _branchy_program()
+        candidate = rebuild(program, [0, 1, 3, 4, 5])  # drop the nop
+        assert candidate is not None
+        assert len(candidate.instrs) == 5
+        # The branch moved from index 3 to 2; its target from 5 to 4.
+        assert candidate.instrs[2].target == 4
+
+    def test_removing_a_branch_target_is_rejected(self):
+        program = _branchy_program()
+        assert rebuild(program, [0, 1, 2, 3, 4]) is None  # target gone
+
+    def test_empty_keep_is_rejected(self):
+        assert rebuild(_branchy_program(), []) is None
+
+    def test_data_image_is_preserved(self):
+        fp = generate(2)
+        keep = list(range(len(fp.program.instrs)))
+        candidate = rebuild(fp.program, keep)
+        assert candidate.data == fp.program.data
+        assert candidate.privileged == fp.program.privileged
+
+
+class TestMinimize:
+    def test_non_reproducer_is_rejected(self):
+        program = _branchy_program()
+        with pytest.raises(ValueError):
+            minimize_program(program, lambda p: False)
+
+    def test_store_bypass_minimizes_and_stays_differential(self):
+        fp = generate(2)  # store-bypass: the cheapest template
+        predicate = differential_predicate(
+            secret_ranges=fp.secret_ranges,
+            tainted_bytes=fp.tainted_bytes,
+            channel=fp.channel,
+        )
+        result = minimize_program(fp.program, predicate)
+        assert result.size < result.original_size
+        assert result.kept == tuple(sorted(result.kept))
+        # The minimized program is still a differential witness.
+        _, leak = run_with_oracle(
+            result.program, config_registry()["ooo"].config,
+            secret_ranges=fp.secret_ranges,
+            tainted_bytes=fp.tainted_bytes,
+        )
+        assert any(w.channel == fp.channel for w in leak)
+        _, blocked = run_with_oracle(
+            result.program, config_registry()["full-protection"].config,
+            secret_ranges=fp.secret_ranges,
+            tainted_bytes=fp.tainted_bytes,
+        )
+        assert blocked == []
+
+    def test_budget_is_respected(self):
+        fp = generate(2)
+        predicate = differential_predicate(
+            secret_ranges=fp.secret_ranges,
+            tainted_bytes=fp.tainted_bytes,
+            channel=fp.channel,
+        )
+        result = minimize_program(fp.program, predicate, max_tests=10)
+        assert result.tests <= 10

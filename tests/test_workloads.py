@@ -66,6 +66,50 @@ class TestGenerator:
             for a, b in zip(first.instrs, second.instrs)
         )
 
+    def test_deterministic_across_hash_seeds(self):
+        # Regression test for the data-RNG derivation: seeding a
+        # sub-stream off a tuple would route through PYTHONHASHSEED-
+        # randomized hash(), silently making "the same seed" generate
+        # different data images in different interpreter processes
+        # (breaking the result cache and cross-run reproducibility).
+        # The string sub-seeding ("<seed>/data") hashes with SHA-512,
+        # which is process-independent.
+        import hashlib
+        import os
+        import subprocess
+        import sys
+
+        snippet = (
+            "import hashlib, json;"
+            "from repro.workloads.generator import spec_program;"
+            "p = spec_program('mcf', 1500, seed=9);"
+            "blob = json.dumps(["
+            "    [str(i.op), i.rd, list(i.srcs), i.imm, i.target]"
+            "    for i in p.instrs"
+            "]) + json.dumps("
+            "    {str(a): d.hex() for a, d in sorted(p.data.items())}"
+            ");"
+            "print(hashlib.sha256(blob.encode()).hexdigest())"
+        )
+        digests = set()
+        for hash_seed in ("0", "1", "12345"):
+            env = dict(os.environ, PYTHONHASHSEED=hash_seed)
+            env["PYTHONPATH"] = os.pathsep.join(sys.path)
+            out = subprocess.run(
+                [sys.executable, "-c", snippet],
+                capture_output=True, text=True, env=env, check=True,
+            )
+            digests.add(out.stdout.strip())
+        assert len(digests) == 1, (
+            "program bytes depend on PYTHONHASHSEED: %s" % digests
+        )
+
+    def test_same_seed_identical_data_image(self):
+        first = spec_program("xz", 2_000, seed=11)
+        second = spec_program("xz", 2_000, seed=11)
+        assert first.data == second.data
+        assert first.initial_regs == second.initial_regs
+
     def test_different_seeds_differ(self):
         first = spec_program("leela", 3_000, seed=0)
         second = spec_program("leela", 3_000, seed=1)
