@@ -1,8 +1,8 @@
 PYTHON ?= python
 export PYTHONPATH := src
 
-.PHONY: test attack-smoke bench-smoke fuzz-smoke bench bench-simspeed \
-	cache-clear
+.PHONY: test attack-smoke bench-smoke fuzz-smoke obs-smoke bench \
+	bench-simspeed cache-clear
 
 test:
 	$(PYTHON) -m pytest -x -q
@@ -25,10 +25,21 @@ bench-smoke:
 fuzz-smoke:
 	$(PYTHON) -m repro.cli fuzz run --seeds 40 --jobs 4
 
+# Telemetry smoke: trace a Spectre v1 run under NDA strict, validate
+# the run manifest it recorded, and render its metric snapshot
+# (mirrors CI).
+obs-smoke:
+	$(PYTHON) -m repro.cli obs trace spectre_v1_cache --config strict \
+		--output results/traces/spectre_v1_cache-strict.json
+	$(PYTHON) -m repro.cli obs manifest validate
+	$(PYTHON) -m repro.cli obs metrics
+
 # Simulator-speed benchmark: host kilo-cycles/sec with the idle-cycle
-# fast-forward on vs off; refreshes the checked-in BENCH_simspeed.json.
+# fast-forward on vs off, plus telemetry-bus overhead; refreshes the
+# checked-in BENCH_simspeed.json.
 bench-simspeed:
-	$(PYTHON) -m repro.cli bench-simspeed --output BENCH_simspeed.json
+	$(PYTHON) benchmarks/bench_simspeed.py --obs \
+		--output BENCH_simspeed.json
 
 # Full figure/table regeneration (writes under results/).
 bench:

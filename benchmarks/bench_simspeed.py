@@ -64,6 +64,17 @@ def main(argv=None) -> int:
         help="small matrix for CI smoke (mcf + ooo/strict, 2 repeats; "
              "instruction count stays comparable to the baseline)",
     )
+    parser.add_argument(
+        "--obs", action="store_true",
+        help="also measure telemetry overhead and enforce the DESIGN.md "
+             "§3.5 contract (<10%% with sampling enabled)",
+    )
+    parser.add_argument(
+        "--obs-budget", type=float, default=0.10, metavar="FRACTION",
+        help="hard ceiling for the sampling-enabled overhead "
+             "(default 0.10; the detached variant is bit-identity-"
+             "checked but not wall-clock-gated — see --obs)",
+    )
     args = parser.parse_args(argv)
 
     if args.quick:
@@ -78,6 +89,7 @@ def main(argv=None) -> int:
         repeats=args.repeats,
         seed=args.seed,
         verbose=True,
+        obs=args.obs,
     )
     print()
     print(render_simspeed(payload))
@@ -86,6 +98,17 @@ def main(argv=None) -> int:
     output.write_text(json.dumps(payload, indent=2) + "\n")
     print()
     print("wrote %s" % output)
+
+    if args.obs:
+        overhead = payload["obs"]["overhead_sampling"]
+        if overhead >= args.obs_budget:
+            print(
+                "FAIL: metrics sampling costs %+.1f%% wall clock, over "
+                "the %.0f%% budget" % (
+                    overhead * 100.0, args.obs_budget * 100.0,
+                )
+            )
+            return 1
 
     if args.baseline:
         baseline = json.loads(Path(args.baseline).read_text())

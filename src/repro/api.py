@@ -35,6 +35,7 @@ def simulate(
     max_cycles: Optional[int] = None,
     direction_predictor: str = "tournament",
     fast_forward: bool = True,
+    manifest: bool = False,
 ) -> RunOutcome:
     """Run *program* to completion on the configured machine.
 
@@ -49,7 +50,9 @@ def simulate(
     50M in-order).  ``fast_forward=False`` disables the out-of-order
     core's bit-identical idle-cycle fast-forward (results are unchanged
     either way; the flag exists for equivalence tests and the simulator
-    speed benchmark).
+    speed benchmark).  ``manifest=True`` writes a JSON provenance record
+    for the run under ``results/manifests/`` (or ``REPRO_MANIFEST_DIR``)
+    — opt-in so bulk callers like the test suite produce no files.
     """
     if in_order:
         core: Union[InOrderCore, OutOfOrderCore] = InOrderCore(
@@ -62,7 +65,16 @@ def simulate(
             fast_forward=fast_forward,
         )
         budget = max_cycles or _DEFAULT_MAX_CYCLES_OOO
-    return core.run(max_cycles=budget)
+    outcome = core.run(max_cycles=budget)
+    if manifest:
+        from repro.obs.manifest import build_manifest, write_manifest
+
+        write_manifest(build_manifest(
+            core.config,
+            workload=program.name or "",
+            stats=outcome.stats,
+        ))
+    return outcome
 
 
 #: Fuzzer names served lazily from :mod:`repro.fuzz` (PEP 562).
@@ -74,10 +86,26 @@ _FUZZ_EXPORTS = (
     "run_with_oracle",
 )
 
+#: Telemetry names served lazily from :mod:`repro.obs`, same pattern.
+_OBS_EXPORTS = (
+    "EventBus",
+    "MetricsRegistry",
+    "MetricsSampler",
+    "build_manifest",
+    "ensure_bus",
+    "metrics_from_campaign",
+    "metrics_from_run",
+    "write_manifest",
+)
+
 
 def __getattr__(name: str):
     if name in _FUZZ_EXPORTS:
         import repro.fuzz
 
         return getattr(repro.fuzz, name)
+    if name in _OBS_EXPORTS:
+        import repro.obs
+
+        return getattr(repro.obs, name)
     raise AttributeError("module %r has no attribute %r" % (__name__, name))

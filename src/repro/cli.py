@@ -16,6 +16,10 @@ Subcommands::
     nda-repro fuzz run --seeds 200 --jobs 8   # differential leak fuzzing
     nda-repro fuzz replay 7 --config strict   # one seed on one config
     nda-repro fuzz minimize 7 --output w.json # ddmin to a reproducer
+    nda-repro obs trace spectre_v1 --config strict   # Perfetto export
+    nda-repro obs metrics                    # render latest metric snapshot
+    nda-repro obs manifest list              # run provenance records
+    nda-repro obs export --benchmarks mcf    # engine job-span trace
 
 Sweeps (``bench``/``figure``) run on the parallel suite engine and cache
 windows under ``results/.cache/``; use ``--jobs N`` to size the worker
@@ -155,6 +159,11 @@ def _build_parser() -> argparse.ArgumentParser:
         "--baseline", default=None, metavar="FILE",
         help="warn (exit 0) on >25%% regressions vs this payload",
     )
+    simspeed.add_argument(
+        "--obs", action="store_true",
+        help="also measure telemetry-bus overhead (detached vs "
+             "attached-idle vs metrics sampling)",
+    )
 
     config_cmd = sub.add_parser(
         "config", help="describe one named configuration, or list them all"
@@ -235,6 +244,73 @@ def _build_parser() -> argparse.ArgumentParser:
         help="configs the minimized program must NOT leak under",
     )
     fuzz_min.add_argument("--max-tests", type=int, default=400)
+
+    obs = sub.add_parser(
+        "obs", help="telemetry: Perfetto traces, metrics, run manifests"
+    )
+    obs_sub = obs.add_subparsers(dest="obs_command", required=True)
+
+    obs_trace = obs_sub.add_parser(
+        "trace",
+        help="run one target under the event bus and export a "
+             "Chrome/Perfetto trace (open at ui.perfetto.dev)",
+    )
+    obs_trace.add_argument(
+        "target", metavar="TARGET",
+        help="an attack name (e.g. spectre_v1), a micro-kernel, or a "
+             "workload profile",
+    )
+    obs_trace.add_argument(
+        "--config", default="strict", choices=_CONFIG_NAMES,
+        help="configuration to trace under (default: strict, which "
+             "shows NDA defer gaps)",
+    )
+    obs_trace.add_argument("--instructions", type=int, default=2000,
+                           help="length of kernel/workload targets")
+    obs_trace.add_argument("--seed", type=int, default=0)
+    obs_trace.add_argument("--limit", type=int, default=20_000,
+                           help="max traced instructions")
+    obs_trace.add_argument("--sample-interval", type=int, default=200,
+                           metavar="CYCLES",
+                           help="metrics sampling period (counter tracks)")
+    obs_trace.add_argument(
+        "--output", default=None, metavar="FILE",
+        help="trace path (default results/traces/<target>-<config>.json)",
+    )
+
+    obs_metrics = obs_sub.add_parser(
+        "metrics", help="render the metric snapshot stored in a manifest"
+    )
+    obs_metrics.add_argument(
+        "path", nargs="?", default=None,
+        help="manifest file (default: the latest one)",
+    )
+
+    obs_manifest = obs_sub.add_parser(
+        "manifest", help="list, show, or validate run manifests"
+    )
+    obs_manifest.add_argument("action", choices=["list", "show", "validate"])
+    obs_manifest.add_argument(
+        "path", nargs="?", default=None,
+        help="manifest file (default: the latest one)",
+    )
+
+    obs_export = obs_sub.add_parser(
+        "export",
+        help="run a small sweep with job-span collection and export the "
+             "engine-level Perfetto trace",
+    )
+    obs_export.add_argument(
+        "--benchmarks", nargs="*", default=["mcf"], choices=sorted(PROFILES)
+    )
+    obs_export.add_argument("--samples", type=int, default=1)
+    obs_export.add_argument("--warmup", type=int, default=500)
+    obs_export.add_argument("--measure", type=int, default=2000)
+    obs_export.add_argument(
+        "--output", default=None, metavar="FILE",
+        help="trace path (default results/traces/engine.json)",
+    )
+    _add_engine_args(obs_export)
 
     return parser
 
@@ -334,6 +410,8 @@ def main(argv: Optional[List[str]] = None) -> int:
             kwargs["repeats"] = args.repeats
         if args.seed is not None:
             kwargs["seed"] = args.seed
+        if args.obs:
+            kwargs["obs"] = True
         payload = simspeed_mod.run_simspeed(**kwargs)
         print()
         print(simspeed_mod.render_simspeed(payload))
@@ -389,6 +467,167 @@ def main(argv: Optional[List[str]] = None) -> int:
     if args.command == "fuzz":
         return _fuzz(args)
 
+    if args.command == "obs":
+        return _obs(args)
+
+    return 2
+
+
+def _obs_trace_program(args):
+    """Resolve an ``obs trace`` target to a Program: attack name first,
+    then micro-kernel, then workload profile."""
+    attacks = {info.name: info for info in IMPLEMENTED}
+    if args.target in attacks:
+        return attacks[args.target].module.build_program()
+    from repro.workloads.kernels import ALL_KERNELS
+    if args.target in ALL_KERNELS:
+        return ALL_KERNELS[args.target](args.instructions)
+    if args.target in PROFILES:
+        from repro.workloads.generator import spec_program
+        return spec_program(args.target, args.instructions, args.seed)
+    raise SystemExit(
+        "unknown trace target %r (attacks: %s; kernels and workload "
+        "profiles also accepted)"
+        % (args.target, ", ".join(sorted(attacks)))
+    )
+
+
+def _obs(args) -> int:
+    import json as json_mod
+    import os
+
+    from repro.obs import (
+        EventBus,
+        MetricsRegistry,
+        MetricsSampler,
+        build_manifest,
+        counter_trace_events,
+        engine_trace_events,
+        latest_manifest,
+        lifecycle_trace_events,
+        list_manifests,
+        load_manifest,
+        validate_manifest,
+        write_chrome_trace,
+        write_manifest,
+    )
+
+    if args.obs_command == "trace":
+        from repro.core.inorder import InOrderCore
+        from repro.core.ooo import OutOfOrderCore
+        from repro.debug import PipelineTracer
+
+        program = _obs_trace_program(args)
+        spec = config_registry()[args.config]
+        core = (
+            InOrderCore(program, spec.config) if spec.in_order
+            else OutOfOrderCore(program, spec.config)
+        )
+        bus = EventBus().attach(core)
+        tracer = PipelineTracer(limit=args.limit)
+        bus.subscribe(tracer)
+        sampler = bus.add_sampler(MetricsSampler(args.sample_interval))
+        outcome = core.run()
+
+        events = lifecycle_trace_events(tracer.records)
+        events += counter_trace_events(sampler)
+        output = args.output or os.path.join(
+            "results", "traces",
+            "%s-%s.json" % (args.target, args.config),
+        )
+        write_chrome_trace(output, events, metadata={
+            "target": args.target,
+            "config": args.config,
+            "scheme": spec.config.scheme,
+            "cycles": outcome.stats.cycles,
+        })
+        manifest_path = write_manifest(build_manifest(
+            spec.config, kind="trace", workload=args.target,
+            seed=args.seed, stats=outcome.stats,
+        ))
+        deferred = sum(
+            1 for r in tracer.records
+            if not r.squashed and r.wakeup_delay > 1
+        )
+        print("traced %s on %s: %d instructions, %d samples, "
+              "%d deferred wake-ups"
+              % (args.target, args.config, len(tracer.records),
+                 len(sampler.rows), deferred))
+        print("trace:    %s  (open at https://ui.perfetto.dev)" % output)
+        print("manifest: %s" % manifest_path)
+        return 0
+
+    if args.obs_command == "metrics":
+        manifest = (
+            load_manifest(args.path) if args.path else latest_manifest()
+        )
+        if manifest is None:
+            print("no manifests found (run `nda-repro obs trace ...` first)")
+            return 2
+        snapshot = manifest.get("metrics")
+        if not snapshot:
+            print("manifest %s carries no metric snapshot"
+                  % manifest.get("label", "?"))
+            return 2
+        print("%s %s (%s)" % (manifest.get("kind", "run"),
+                              manifest.get("label", "?"),
+                              manifest.get("git_revision", "?")[:12]))
+        print(MetricsRegistry.restore(snapshot).render())
+        return 0
+
+    if args.obs_command == "manifest":
+        if args.action == "list":
+            paths = list_manifests()
+            for path in paths:
+                manifest = load_manifest(path)
+                print("%-9s %-28s %s" % (
+                    manifest.get("kind", "?"),
+                    manifest.get("label", "?"),
+                    path,
+                ))
+            if not paths:
+                print("no manifests under %s" % (
+                    os.environ.get("REPRO_MANIFEST_DIR")
+                    or os.path.join("results", "manifests")
+                ))
+            return 0
+        manifest = (
+            load_manifest(args.path) if args.path else latest_manifest()
+        )
+        if manifest is None:
+            print("no manifests found")
+            return 2
+        if args.action == "show":
+            print(json_mod.dumps(manifest, indent=2, sort_keys=True))
+            return 0
+        problems = validate_manifest(manifest)
+        if problems:
+            for problem in problems:
+                print("INVALID: %s" % problem)
+            return 1
+        print("valid manifest (schema %s)" % manifest["schema_version"])
+        return 0
+
+    if args.obs_command == "export":
+        suite = run_suite(
+            benchmarks=args.benchmarks,
+            samples=args.samples,
+            warmup=args.warmup,
+            measure=args.measure,
+            collect_trace=True,
+            **_engine_kwargs(args),
+        )
+        output = args.output or os.path.join(
+            "results", "traces", "engine.json"
+        )
+        write_chrome_trace(
+            output, engine_trace_events(suite.engine.job_trace),
+            metadata={"engine": suite.engine.describe()},
+        )
+        print("engine: %s" % suite.engine.describe())
+        print("trace:  %s  (open at https://ui.perfetto.dev)" % output)
+        return 0
+
     return 2
 
 
@@ -411,6 +650,22 @@ def _fuzz(args) -> int:
             max_cycles=args.max_cycles,
         )
         print(campaign.describe())
+        from repro.obs import (
+            build_manifest, metrics_from_campaign, write_manifest,
+        )
+        manifest_path = write_manifest(build_manifest(
+            config_registry()["ooo"].config,
+            kind="fuzz-campaign",
+            seed=args.seed0,
+            metrics=metrics_from_campaign(campaign).collect(),
+            extra={
+                "seeds": args.seeds,
+                "configs": sorted({
+                    r.config_name for r in campaign.results
+                }),
+            },
+        ))
+        print("manifest: %s" % manifest_path)
         return 0 if campaign.ok else 1
 
     if args.fuzz_command == "replay":

@@ -47,6 +47,9 @@ class InOrderCore:
         self.stats = PipelineStats()
         self._current_line = -1
         self._fpu_last_issue = -(10 ** 9)  # FPU power gating
+        # Optional telemetry EventBus (see repro.obs.bus): pure
+        # observer, guarded by an is-None test at every use.
+        self.obs = None
 
     # ------------------------------------------------------------------ #
 
@@ -104,10 +107,15 @@ class InOrderCore:
 
     def step(self) -> None:
         """Fetch, execute, and retire exactly one instruction."""
+        start_cycle = self.cycle
+        obs = self.obs
+        if obs is not None and obs.sample_due <= start_cycle:
+            obs.sample(self, start_cycle)
         instr = self.program.fetch(self.pc)
         if instr is None:
             self.halted = True
             return
+        pc = self.pc
 
         # Instruction fetch: pay the I-side latency on each new line.
         line = (self.pc * INSTR_BYTES) >> 6
@@ -200,6 +208,8 @@ class InOrderCore:
         if not self.halted:
             self.pc = next_pc
         self.stats.branches_resolved += int(info.is_branch)
+        if obs is not None and obs.inorder_step is not None:
+            obs.inorder_step(pc, instr, start_cycle, self.cycle)
 
     def _branch(self, instr, next_pc: int) -> int:
         op = instr.op

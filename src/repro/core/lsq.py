@@ -69,6 +69,9 @@ class LSQ:
         # Optional callable(load, store) fired on store-to-load
         # forwarding; used by the fuzzing taint oracle (repro.fuzz).
         self.taint_hook = None
+        # Optional telemetry EventBus (repro.obs.bus): pure observer,
+        # coexists with the taint hook.
+        self.obs = None
 
     # ------------------------------------------------------------------ #
     # Occupancy.
@@ -135,6 +138,9 @@ class LSQ:
                 self.forwards += 1
                 if self.taint_hook is not None:
                     self.taint_hook(load, store)
+                obs = self.obs
+                if obs is not None and obs.store_forward is not None:
+                    obs.store_forward(load, store)
                 return LoadDecision(
                     LoadAction.FORWARD,
                     value=value,

@@ -118,10 +118,11 @@ class OutOfOrderCore:
         self._issued_this_cycle = 0
         self._squashed_this_cycle = False
         self._last_commit_cycle = 0
-        # Optional PipelineTracer (see repro.debug.trace).
-        self.tracer = None
-        # Optional TaintOracle (see repro.fuzz.taint).  Like the tracer
-        # it is a pure observer: every hook below is guarded by an
+        # Optional telemetry EventBus (see repro.obs.bus); carries the
+        # pipeline tracer, metrics samplers, and any other subscriber.
+        self.obs = None
+        # Optional TaintOracle (see repro.fuzz.taint).  Like the event
+        # bus it is a pure observer: every hook below is guarded by an
         # is-None test, so the hot path and the idle-cycle fast-forward
         # are unaffected when no oracle is attached.
         self.taint = None
@@ -357,9 +358,19 @@ class OutOfOrderCore:
         self.ff_skipped_cycles += span
         self.cycle = target
 
+        # Metrics sampling: every sample that would have landed inside
+        # the (strictly quiescent, hence frozen) span collapses to one
+        # at the landing cycle.  Observers never veto the skip itself.
+        obs = self.obs
+        if obs is not None and obs.sample_due <= target:
+            obs.sample(self, target)
+
     def step(self) -> None:
         """Advance the machine by one cycle."""
         now = self.cycle
+        obs = self.obs
+        if obs is not None and obs.sample_due <= now:
+            obs.sample(self, now)
         self._ports_used = 0
         self._issued_this_cycle = 0
         self._squashed_this_cycle = False
@@ -451,6 +462,9 @@ class OutOfOrderCore:
         if taint is not None:
             taint.exec_ctx = None
             taint.on_complete(entry)
+        obs = self.obs
+        if obs is not None and obs.instr_complete is not None:
+            obs.instr_complete(entry, now)
         self._try_broadcast(entry, now)
 
     def _try_broadcast(self, entry: DynInstr, now: int) -> None:
@@ -471,12 +485,18 @@ class OutOfOrderCore:
             self._ports_used += 1
         else:
             self.protection.defer_broadcast(entry)
+            obs = self.obs
+            if obs is not None and obs.instr_defer is not None:
+                obs.instr_defer(entry, now)
 
     def _broadcast(self, entry: DynInstr, now: int) -> None:
         self.prf.mark_ready(entry.phys_dest)
         self.iq.on_broadcast(entry.phys_dest)
         entry.bcast = True
         entry.bcast_cycle = now
+        obs = self.obs
+        if obs is not None and obs.instr_broadcast is not None:
+            obs.instr_broadcast(entry, now)
 
     def _drain_broadcasts(self, now: int) -> None:
         head = self.rob.head
@@ -595,9 +615,11 @@ class OutOfOrderCore:
         self.stats.squashes += 1
         self.stats.squashed_ops += len(removed)
         self._squashed_this_cycle = True
-        if self.tracer is not None:
+        obs = self.obs
+        if obs is not None and obs.instr_squash is not None:
+            now = self.cycle
             for entry in removed:
-                self.tracer.squashed(entry, self.cycle)
+                obs.instr_squash(entry, now)
 
     # ================================================================== #
     # Load memory phase.
@@ -697,6 +719,7 @@ class OutOfOrderCore:
         width = self.config.core.issue_width
         selected = self.iq.select(now, width, self.fus, self._may_issue)
         taint = self.taint
+        obs = self.obs
         for entry in selected:
             entry.issued = True
             entry.issue_cycle = now
@@ -708,6 +731,8 @@ class OutOfOrderCore:
             instr = entry.instr
             if taint is not None:
                 taint.on_issue(entry, now)
+            if obs is not None and obs.instr_issue is not None:
+                obs.instr_issue(entry, now)
             if entry.is_load:
                 entry.addr = (entry.src_vals[0] + instr.imm) & U64_MASK
                 heapq.heappush(
@@ -756,6 +781,9 @@ class OutOfOrderCore:
             self.iq.insert(entry)
             self.lsq.dispatch(entry)
             self.protection.on_dispatch(entry)
+            obs = self.obs
+            if obs is not None and obs.instr_dispatch is not None:
+                obs.instr_dispatch(entry, now)
             if instr.info.is_serializing:
                 # FENCE (speculation barrier) and RDTSC (rdtscp-like
                 # measurement fence) block dispatch until they commit.
@@ -825,8 +853,9 @@ class OutOfOrderCore:
         self.protection.on_commit(head, now)
         if self.taint is not None:
             self.taint.on_commit(head)
-        if self.tracer is not None:
-            self.tracer.retired(head, now)
+        obs = self.obs
+        if obs is not None and obs.instr_retire is not None:
+            obs.instr_retire(head, now)
 
     def _commit_store(self, head: DynInstr) -> None:
         if head.mem_size == 1:

@@ -1,9 +1,9 @@
 """Pipeline tracing: per-instruction lifecycle records and ASCII charts.
 
-Attach a :class:`PipelineTracer` to an out-of-order core and every retired
-or squashed dynamic instruction is recorded with its fetch / dispatch /
-issue / complete / broadcast / retire cycles — the raw material for
-debugging scheduler behaviour and for *seeing* NDA's deferred wake-ups:
+Attach a :class:`PipelineTracer` to a core and every retired or squashed
+dynamic instruction is recorded with its fetch / dispatch / issue /
+complete / broadcast / retire cycles — the raw material for debugging
+scheduler behaviour and for *seeing* NDA's deferred wake-ups:
 
     core = OutOfOrderCore(program, config)
     tracer = PipelineTracer.attach(core, limit=200)
@@ -12,14 +12,21 @@ debugging scheduler behaviour and for *seeing* NDA's deferred wake-ups:
 
 In the chart, each instruction is one row; NDA shows up as a widening gap
 between ``C`` (complete) and ``B`` (broadcast).
+
+The tracer is an :class:`~repro.obs.bus.EventBus` subscriber: records
+are sourced from the bus's ``instr_retire`` / ``instr_squash`` events
+(plus ``load_validate`` / ``load_expose`` for InvisiSpec and
+``inorder_step`` for the in-order core), not from ad-hoc core pokes.
+:meth:`PipelineTracer.attach` wires that up; records also convert
+directly to Perfetto spans via
+:func:`repro.obs.perfetto.lifecycle_trace_events`.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import List, Optional
+from typing import Dict, List
 
-from repro.core.ooo import OutOfOrderCore
 from repro.core.rob import DynInstr
 
 
@@ -37,6 +44,9 @@ class TraceRecord:
     broadcast: int
     retire: int
     squashed: bool
+    #: InvisiSpec visibility cycles (-1 when the scheme never fired).
+    validate: int = -1
+    expose: int = -1
 
     @property
     def wakeup_delay(self) -> int:
@@ -47,32 +57,74 @@ class TraceRecord:
 
 
 class PipelineTracer:
-    """Collects TraceRecords from a core via its retire/squash hooks."""
+    """Collects TraceRecords from a core via the telemetry event bus."""
 
     def __init__(self, limit: int = 1_000, include_squashed: bool = True):
         self.limit = limit
         self.include_squashed = include_squashed
         self.records: List[TraceRecord] = []
+        self._validates: Dict[int, int] = {}
+        self._exposes: Dict[int, int] = {}
+        self._inorder_seq = 0
 
     @classmethod
     def attach(
-        cls, core: OutOfOrderCore, limit: int = 1_000,
-        include_squashed: bool = True,
+        cls, core, limit: int = 1_000, include_squashed: bool = True,
     ) -> "PipelineTracer":
+        """Subscribe a new tracer on *core*'s event bus (attaching a bus
+        first if the core has none).  Works for both core classes."""
+        from repro.obs.bus import ensure_bus
+
         tracer = cls(limit=limit, include_squashed=include_squashed)
-        core.tracer = tracer
+        ensure_bus(core).subscribe(tracer)
         return tracer
 
-    # Hooks called by the core. ----------------------------------------- #
+    # Event-bus subscriber methods. ------------------------------------- #
 
-    def retired(self, entry: DynInstr, now: int) -> None:
+    def instr_retire(self, entry: DynInstr, now: int) -> None:
         self._record(entry, now, squashed=False)
 
-    def squashed(self, entry: DynInstr, now: int) -> None:
+    def instr_squash(self, entry: DynInstr, now: int) -> None:
         if self.include_squashed:
             self._record(entry, now, squashed=True)
+        else:
+            self._validates.pop(entry.seq, None)
+            self._exposes.pop(entry.seq, None)
+
+    def load_validate(self, entry: DynInstr, now: int, latency: int) -> None:
+        self._validates[entry.seq] = now
+
+    def load_expose(self, entry: DynInstr, now: int) -> None:
+        self._exposes[entry.seq] = now
+
+    def inorder_step(self, pc: int, instr, start_cycle: int,
+                     end_cycle: int) -> None:
+        """One fully executed in-order instruction: fetch at the step's
+        first cycle, retirement at its last."""
+        if len(self.records) >= self.limit:
+            return
+        self.records.append(TraceRecord(
+            seq=self._inorder_seq,
+            pc=pc,
+            disasm=repr(instr),
+            fetch=start_cycle,
+            dispatch=-1,
+            issue=-1,
+            complete=-1,
+            broadcast=-1,
+            retire=max(end_cycle - 1, start_cycle),
+            squashed=False,
+        ))
+        self._inorder_seq += 1
+
+    # Legacy hook spellings (pre-bus callers and subclasses). ----------- #
+
+    retired = instr_retire
+    squashed = instr_squash
 
     def _record(self, entry: DynInstr, now: int, squashed: bool) -> None:
+        validate = self._validates.pop(entry.seq, -1)
+        expose = self._exposes.pop(entry.seq, -1)
         if len(self.records) >= self.limit:
             return
         self.records.append(TraceRecord(
@@ -86,6 +138,8 @@ class PipelineTracer:
             broadcast=entry.bcast_cycle,
             retire=now if not squashed else -1,
             squashed=squashed,
+            validate=validate,
+            expose=expose,
         ))
 
     # Reporting. --------------------------------------------------------- #

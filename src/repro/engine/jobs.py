@@ -109,6 +109,10 @@ class JobResult:
     elapsed: float = 0.0
     from_cache: bool = False
     retried: bool = False
+    # Execution span on time.perf_counter()'s clock — CLOCK_MONOTONIC on
+    # Linux, so comparable across forked workers.  Zero for cache hits.
+    t_start: float = 0.0
+    t_end: float = 0.0
 
 
 def execute_job(job) -> JobResult:
@@ -121,6 +125,8 @@ def execute_job(job) -> JobResult:
     """
     start = time.perf_counter()
     window = job.execute()
+    end = time.perf_counter()
     return JobResult(
-        job=job, window=window, elapsed=time.perf_counter() - start
+        job=job, window=window, elapsed=end - start,
+        t_start=start, t_end=end,
     )

@@ -60,6 +60,10 @@ class EngineStats:
     job_seconds: Dict[Tuple[str, str, int], float] = field(
         default_factory=dict
     )
+    # Per-job spans (submit/start/end on perf_counter's clock) gathered
+    # only when run_jobs(collect_trace=True); feeds the Perfetto export
+    # (repro.obs.perfetto.engine_trace_events).
+    job_trace: List[dict] = field(default_factory=list)
 
     def describe(self) -> str:
         parts = [
@@ -97,17 +101,20 @@ def run_jobs(
     cache: Optional[ResultCache] = None,
     progress: Optional[ProgressFn] = None,
     executor_factory: Optional[Callable[..., ProcessPoolExecutor]] = None,
+    collect_trace: bool = False,
 ) -> Tuple[List[JobResult], List[JobFailure], EngineStats]:
     """Execute every job; returns (results, failures, stats).
 
     ``results`` preserves the order of ``jobs_list`` (failed jobs are
-    omitted and listed in ``failures`` instead).
+    omitted and listed in ``failures`` instead).  ``collect_trace``
+    records a per-job span table into ``stats.job_trace``.
     """
     start_wall = time.perf_counter()
     stats = EngineStats(jobs=len(jobs_list))
     slots: List[Optional[JobResult]] = [None] * len(jobs_list)
     failures: List[JobFailure] = []
     done_count = 0
+    submit_times: Dict[int, float] = {}
 
     def finish(index: int, result: JobResult) -> None:
         nonlocal done_count
@@ -115,6 +122,17 @@ def run_jobs(
         done_count += 1
         stats.sim_seconds += result.elapsed
         stats.job_seconds[result.job.coordinates] = result.elapsed
+        if collect_trace:
+            now = time.perf_counter()
+            submit = submit_times.get(index, start_wall)
+            stats.job_trace.append({
+                "name": result.job.describe(),
+                "submit": submit,
+                "start": result.t_start or submit,
+                "end": result.t_end or now,
+                "from_cache": result.from_cache,
+                "retried": result.retried,
+            })
         if not result.from_cache:
             stats.executed += 1
             if cache is not None:
@@ -149,6 +167,7 @@ def run_jobs(
     def run_serially(index: int, job: SimJob, retried: bool) -> None:
         if retried:
             stats.retries += 1
+        submit_times[index] = time.perf_counter()
         try:
             result = execute_job(job)
         except BaseException as error:  # deterministic job failure
@@ -163,10 +182,12 @@ def run_jobs(
         try:
             context = multiprocessing.get_context("fork")
             with factory(max_workers=workers, mp_context=context) as pool:
-                future_to_job = {
-                    pool.submit(execute_job, job): (index, job)
-                    for index, job in pending
-                }
+                future_to_job = {}
+                for index, job in pending:
+                    submit_times[index] = time.perf_counter()
+                    future_to_job[pool.submit(execute_job, job)] = (
+                        index, job
+                    )
                 not_done = set(future_to_job)
                 while not_done:
                     finished, not_done = wait(

@@ -42,6 +42,9 @@ class BTB:
         # Optional callable target with on_btb_update(pc, target); used
         # by the fuzzing taint oracle (repro.fuzz).
         self.observer = None
+        # Optional telemetry EventBus (repro.obs.bus), fed the same
+        # install/refresh events as btb_update.
+        self.obs = None
 
     def _index(self, pc: int) -> int:
         return pc & self._set_mask
@@ -69,6 +72,9 @@ class BTB:
         self.updates += 1
         if self.observer is not None:
             self.observer.on_btb_update(pc, target)
+        obs = self.obs
+        if obs is not None and obs.btb_update is not None:
+            obs.btb_update(pc, target)
         index = self._index(pc)
         targets = self._targets[index]
         ways = self._ways[index]

@@ -175,6 +175,7 @@ def run_suite(
     cache: Union[bool, ResultCache, None] = False,
     cache_dir=None,
     progress: Optional[ProgressFn] = None,
+    collect_trace: bool = False,
 ) -> SuiteResult:
     """Run the full sweep and return every sampled run.
 
@@ -206,7 +207,8 @@ def run_suite(
         benchmarks, specs, samples, warmup, measure, instructions, seed0
     )
     job_results, failures, engine_stats = run_jobs(
-        job_list, jobs=jobs, cache=result_cache, progress=progress
+        job_list, jobs=jobs, cache=result_cache, progress=progress,
+        collect_trace=collect_trace,
     )
     if failures:
         raise SimulationError(

@@ -95,6 +95,104 @@ def measure_case(
     }
 
 
+def _one_obs_run(program, config, attach_bus: bool, sample_interval: int):
+    """One timed core run, optionally with an attached telemetry bus
+    (and a metrics sampler on it)."""
+    from repro.core.ooo import OutOfOrderCore
+
+    core = OutOfOrderCore(program, config)
+    sampler = None
+    if attach_bus:
+        from repro.obs import EventBus, MetricsSampler
+
+        bus = EventBus().attach(core)
+        if sample_interval:
+            sampler = bus.add_sampler(MetricsSampler(sample_interval))
+    start = time.perf_counter()
+    result = core.run()
+    elapsed = time.perf_counter() - start
+    return elapsed, result, len(sampler.rows) if sampler is not None else 0
+
+
+def measure_obs_overhead(
+    workload: str = "mcf",
+    config_name: str = "strict",
+    instructions: int = DEFAULT_INSTRUCTIONS,
+    repeats: int = DEFAULT_REPEATS,
+    seed: int = DEFAULT_SEED,
+    sample_interval: int = 1_000,
+) -> Dict[str, object]:
+    """Cost of the telemetry layer on one (workload, config) pair.
+
+    Three timed variants of the same run: no bus at all (**detached** —
+    every observer slot is None), a bus attached with no subscribers
+    (every per-event attribute still None), and a bus with a periodic
+    metrics sampler.  All three must be bit-identical; the overhead
+    contract (DESIGN.md §3.5) is ~0% for the first two and <10% with
+    sampling enabled.
+    """
+    spec = config_registry()[config_name]
+    if spec.in_order:
+        raise ValueError(
+            "%r is an in-order configuration; measure the out-of-order "
+            "core" % config_name
+        )
+    program = spec_program(workload, instructions=instructions, seed=seed)
+    # Variants are interleaved within each repeat (not run as sequential
+    # blocks) so slow host drift — thermal, cache, scheduler — biases all
+    # three equally instead of whichever block ran last.
+    variants = {
+        "detached": (False, 0),
+        "attached-idle": (True, 0),
+        "sampling": (True, sample_interval),
+    }
+    best: Dict[str, float] = {}
+    outcomes: Dict[str, object] = {}
+    samples = 0
+    for _ in range(max(repeats, 3)):
+        for name, (attach_bus, interval) in variants.items():
+            elapsed, result, rows = _one_obs_run(
+                program, spec.config, attach_bus, interval
+            )
+            if name not in best or elapsed < best[name]:
+                best[name] = elapsed
+                outcomes[name] = result
+                if name == "sampling":
+                    samples = rows
+    wall_off = best["detached"]
+    wall_idle = best["attached-idle"]
+    wall_sampled = best["sampling"]
+    base = outcomes["detached"]
+    for variant in ("attached-idle", "sampling"):
+        outcome = outcomes[variant]
+        if (outcome.stats.cycles != base.stats.cycles
+                or outcome.stats.committed != base.stats.committed):
+            raise SimSpeedError(
+                "telemetry variant %r diverged on %s/%s: cycles %d vs "
+                "%d, committed %d vs %d" % (
+                    variant, workload, config_name,
+                    outcome.stats.cycles, base.stats.cycles,
+                    outcome.stats.committed, base.stats.committed,
+                )
+            )
+    return {
+        "workload": workload,
+        "config": config_name,
+        "cycles": base.stats.cycles,
+        "sample_interval": sample_interval,
+        "samples": samples,
+        "wall_seconds_detached": wall_off,
+        "wall_seconds_attached_idle": wall_idle,
+        "wall_seconds_sampling": wall_sampled,
+        "overhead_attached_idle": (
+            wall_idle / wall_off - 1.0 if wall_off > 0 else 0.0
+        ),
+        "overhead_sampling": (
+            wall_sampled / wall_off - 1.0 if wall_off > 0 else 0.0
+        ),
+    }
+
+
 def run_simspeed(
     workloads: Sequence[str] = DEFAULT_WORKLOADS,
     configs: Sequence[str] = DEFAULT_CONFIGS,
@@ -102,6 +200,7 @@ def run_simspeed(
     repeats: int = DEFAULT_REPEATS,
     seed: int = DEFAULT_SEED,
     verbose: bool = False,
+    obs: bool = False,
 ) -> Dict[str, object]:
     """Measure the full matrix; returns the JSON payload."""
     results: List[Dict[str, object]] = []
@@ -122,7 +221,7 @@ def run_simspeed(
                 )
     speedups = [case["speedup_vs_no_ff"] for case in results]
     rates = [case["cycles_per_sec"] for case in results]
-    return {
+    payload: Dict[str, object] = {
         "schema": 1,
         "instructions": instructions,
         "repeats": repeats,
@@ -136,6 +235,24 @@ def run_simspeed(
             "best_cycles_per_sec": max(rates) if rates else 0.0,
         },
     }
+    if obs:
+        overhead = measure_obs_overhead(
+            workload=workloads[0] if workloads else "mcf",
+            config_name="strict" if "strict" in configs else configs[0],
+            instructions=instructions, repeats=repeats, seed=seed,
+        )
+        payload["obs"] = overhead
+        if verbose:
+            print(
+                "  obs overhead on %s/%s: %+.1f%% attached-idle, "
+                "%+.1f%% sampling (%d samples)" % (
+                    overhead["workload"], overhead["config"],
+                    overhead["overhead_attached_idle"] * 100.0,
+                    overhead["overhead_sampling"] * 100.0,
+                    overhead["samples"],
+                )
+            )
+    return payload
 
 
 def render_simspeed(payload: Dict[str, object]) -> str:
@@ -171,6 +288,17 @@ def render_simspeed(payload: Dict[str, object]) -> str:
             agg["best_cycles_per_sec"] / 1000.0,
         )
     )
+    obs = payload.get("obs")
+    if obs:
+        lines.append(
+            "telemetry overhead (%s/%s, interval %d): "
+            "%+.1f%% attached-idle, %+.1f%% sampling (%d samples)" % (
+                obs["workload"], obs["config"], obs["sample_interval"],
+                obs["overhead_attached_idle"] * 100.0,
+                obs["overhead_sampling"] * 100.0,
+                obs["samples"],
+            )
+        )
     return "\n".join(lines)
 
 

@@ -71,6 +71,10 @@ class MemoryHierarchy:
         # (repro.fuzz).  Fired only on demand-miss fills, never on
         # prefetches or invisible probes.
         self.observer = None
+        # Optional telemetry EventBus (repro.obs.bus): same demand-fill
+        # events, delivered as data_fill/inst_fill.  Coexists with the
+        # taint observer above.
+        self.obs = None
 
     # ------------------------------------------------------------------ #
     # MSHR bookkeeping.
@@ -149,8 +153,12 @@ class MemoryHierarchy:
         latency = self.dtlb.access(addr) if translate else 0
         if fill:
             l1_hit = self.l1d.access(addr, fill=True)
-            if not l1_hit and self.observer is not None:
-                self.observer.on_data_fill(addr, now)
+            if not l1_hit:
+                if self.observer is not None:
+                    self.observer.on_data_fill(addr, now)
+                obs = self.obs
+                if obs is not None and obs.data_fill is not None:
+                    obs.data_fill(addr, now)
         else:
             l1_hit = self.l1d.probe(addr)
             # count it for stats without disturbing state
@@ -199,6 +207,9 @@ class MemoryHierarchy:
                                 True, False, False)
         if self.observer is not None:
             self.observer.on_inst_fill(addr, now)
+        obs = self.obs
+        if obs is not None and obs.inst_fill is not None:
+            obs.inst_fill(addr, now)
         latency = self.config.l2.round_trip_cycles
         if self.l2.access(addr, fill=True):
             return AccessResult(latency, False, True, False)

@@ -1,0 +1,72 @@
+"""``repro.obs``: the unified telemetry layer.
+
+One cross-cutting observability stack for the whole simulator:
+
+* :class:`EventBus` — a structured event bus attached to the cores, LSQ,
+  memory hierarchy, and BTB through the same no-op-when-None observer
+  slots the taint oracle uses.  Detached (the default), every hook is a
+  single ``is None`` test and simulation is bit-identical to a build
+  without the bus; attached, subscribers receive typed pipeline events.
+* :class:`MetricsRegistry` — counters, gauges, and histograms with
+  labels, unifying :class:`~repro.stats.counters.PipelineStats`, engine
+  cache statistics, and fuzz campaign witness counts behind one
+  ``collect()`` snapshot that round-trips through JSON.
+* :class:`MetricsSampler` — a periodic in-simulation sampler producing
+  occupancy/MLP/deferred-broadcast time series.
+* :mod:`repro.obs.perfetto` — Chrome trace-event (Perfetto) JSON export
+  of per-instruction lifecycle spans and engine job spans.
+* :mod:`repro.obs.manifest` — JSON run manifests: a provenance record
+  (config hash, seed, scheme, git revision, host, timings, metric
+  snapshot) for every run that asks for one, written under
+  ``results/manifests/``.
+
+See DESIGN.md §3.5 ("Observability") for the event taxonomy, the
+overhead contract, and the manifest schema.
+"""
+
+from repro.obs.bus import EventBus, ensure_bus
+from repro.obs.metrics import (
+    MetricsRegistry,
+    metrics_from_campaign,
+    metrics_from_run,
+)
+from repro.obs.sampler import MetricsSampler
+from repro.obs.perfetto import (
+    counter_trace_events,
+    engine_trace_events,
+    lifecycle_trace_events,
+    validate_chrome_trace,
+    write_chrome_trace,
+)
+from repro.obs.manifest import (
+    MANIFEST_SCHEMA_VERSION,
+    build_manifest,
+    latest_manifest,
+    list_manifests,
+    load_manifest,
+    manifest_dir,
+    validate_manifest,
+    write_manifest,
+)
+
+__all__ = [
+    "EventBus",
+    "ensure_bus",
+    "MetricsRegistry",
+    "metrics_from_campaign",
+    "metrics_from_run",
+    "MetricsSampler",
+    "counter_trace_events",
+    "engine_trace_events",
+    "lifecycle_trace_events",
+    "validate_chrome_trace",
+    "write_chrome_trace",
+    "MANIFEST_SCHEMA_VERSION",
+    "build_manifest",
+    "latest_manifest",
+    "list_manifests",
+    "load_manifest",
+    "manifest_dir",
+    "validate_manifest",
+    "write_manifest",
+]

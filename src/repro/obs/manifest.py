@@ -1,0 +1,224 @@
+"""Run manifests: JSON provenance records for simulation runs.
+
+A manifest answers "what exactly produced this number?" months later:
+the full configuration and its cache hash, the workload and seed, the
+git revision and host that ran it, wall-clock timings, and a metrics
+snapshot (:meth:`MetricsRegistry.collect`).  Manifests are plain JSON
+files under ``results/manifests/`` (override with the
+``REPRO_MANIFEST_DIR`` environment variable) and are listed/inspected
+with ``nda-repro obs manifest``.
+
+Writing is **opt-in**: the thousands of ``simulate()`` calls the test
+suite makes must not spray files, so only callers that pass
+``simulate(..., manifest=True)`` — the CLI commands do — produce one.
+
+Validation is hand-rolled (:func:`validate_manifest`) so the repo keeps
+its no-new-dependencies rule; the schema it enforces is documented in
+DESIGN.md §3.5.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import platform
+import socket
+import subprocess
+import time
+from typing import Dict, List, Optional
+
+#: Bump when the manifest layout changes incompatibly.
+MANIFEST_SCHEMA_VERSION = 1
+
+#: Default output directory (relative to the working directory).
+DEFAULT_DIR = os.path.join("results", "manifests")
+
+#: (field, type, required) triples of the top-level schema.
+_SCHEMA = (
+    ("schema_version", int, True),
+    ("kind", str, True),
+    ("label", str, True),
+    ("created_unix", (int, float), True),
+    ("config", dict, True),
+    ("config_hash", str, True),
+    ("scheme", str, True),
+    ("workload", str, False),
+    ("seed", (int, type(None)), False),
+    ("git_revision", str, True),
+    ("host", dict, True),
+    ("timings", dict, True),
+    ("metrics", dict, False),
+    ("extra", dict, False),
+)
+
+
+def manifest_dir(directory: Optional[str] = None) -> str:
+    """Resolve the manifest directory: explicit argument, then the
+    ``REPRO_MANIFEST_DIR`` environment variable, then the default."""
+    if directory:
+        return directory
+    return os.environ.get("REPRO_MANIFEST_DIR") or DEFAULT_DIR
+
+
+def git_revision(default: str = "unknown") -> str:
+    """Current git commit hash, or *default* outside a work tree."""
+    try:
+        out = subprocess.run(
+            ["git", "rev-parse", "HEAD"],
+            capture_output=True, text=True, timeout=10,
+            cwd=os.path.dirname(os.path.abspath(__file__)),
+        )
+    except (OSError, subprocess.SubprocessError):
+        return default
+    rev = out.stdout.strip()
+    return rev if out.returncode == 0 and rev else default
+
+
+def host_info() -> Dict[str, str]:
+    return {
+        "hostname": socket.gethostname(),
+        "platform": platform.platform(),
+        "python": platform.python_version(),
+    }
+
+
+def build_manifest(
+    config,
+    *,
+    kind: str = "run",
+    workload: str = "",
+    seed: Optional[int] = None,
+    stats=None,
+    metrics: Optional[dict] = None,
+    extra: Optional[dict] = None,
+) -> dict:
+    """Assemble a manifest for one run of *config*.
+
+    ``stats`` is an optional :class:`PipelineStats`; its wall-clock
+    fields populate ``timings`` and, when ``metrics`` is not given, its
+    counters become the metric snapshot.  ``metrics`` accepts an
+    already-collected :meth:`MetricsRegistry.collect` payload (or a
+    registry, which is collected here).
+    """
+    timings: Dict[str, float] = {}
+    if stats is not None:
+        timings = {
+            "sim_wall_seconds": stats.sim_wall_seconds,
+            "kilo_cycles_per_sec": stats.kilo_cycles_per_sec,
+            "cycles": stats.cycles,
+        }
+        if metrics is None:
+            from repro.obs.metrics import metrics_from_run
+            labels = {"scheme": config.scheme}
+            if workload:
+                labels["workload"] = workload
+            metrics = metrics_from_run(stats, **labels).collect()
+    if metrics is not None and hasattr(metrics, "collect"):
+        metrics = metrics.collect()
+    manifest = {
+        "schema_version": MANIFEST_SCHEMA_VERSION,
+        "kind": kind,
+        "label": config.label(),
+        "created_unix": time.time(),
+        "config": config.to_dict(),
+        "config_hash": config.cache_key(),
+        "scheme": config.scheme,
+        "workload": workload,
+        "seed": seed,
+        "git_revision": git_revision(),
+        "host": host_info(),
+        "timings": timings,
+    }
+    if metrics is not None:
+        manifest["metrics"] = metrics
+    if extra:
+        manifest["extra"] = extra
+    return manifest
+
+
+def validate_manifest(manifest) -> List[str]:
+    """Check *manifest* against the schema; return a problem list
+    (empty == valid)."""
+    problems: List[str] = []
+    if not isinstance(manifest, dict):
+        return ["manifest must be a JSON object"]
+    for field, types, required in _SCHEMA:
+        if field not in manifest:
+            if required:
+                problems.append("missing required field %r" % field)
+            continue
+        if not isinstance(manifest[field], types):
+            problems.append(
+                "field %r has type %s" % (field, type(manifest[field]).__name__)
+            )
+    if manifest.get("schema_version") not in (None, MANIFEST_SCHEMA_VERSION):
+        problems.append(
+            "unknown schema_version %r (this build reads %d)"
+            % (manifest.get("schema_version"), MANIFEST_SCHEMA_VERSION)
+        )
+    host = manifest.get("host")
+    if isinstance(host, dict):
+        for key in ("hostname", "platform", "python"):
+            if not isinstance(host.get(key), str):
+                problems.append("host.%s must be a string" % key)
+    metrics = manifest.get("metrics")
+    if isinstance(metrics, dict) and not isinstance(
+            metrics.get("metrics"), list):
+        problems.append("metrics snapshot missing its 'metrics' list")
+    unknown = set(manifest) - {field for field, _, _ in _SCHEMA}
+    for field in sorted(unknown):
+        problems.append("unknown field %r" % field)
+    return problems
+
+
+def write_manifest(manifest: dict, directory: Optional[str] = None) -> str:
+    """Validate and atomically write *manifest*; return its path.
+
+    Filenames are ``<kind>-<label>-<created>-<hash8>.json`` — sortable
+    by creation time and collision-free across configs.
+    """
+    problems = validate_manifest(manifest)
+    if problems:
+        raise ValueError("refusing to write invalid manifest: "
+                         + "; ".join(problems[:5]))
+    directory = manifest_dir(directory)
+    os.makedirs(directory, exist_ok=True)
+    safe_label = "".join(
+        ch if ch.isalnum() or ch in "-_" else "_"
+        for ch in manifest["label"]
+    )[:48]
+    name = "%s-%s-%d-%s.json" % (
+        manifest["kind"], safe_label,
+        int(manifest["created_unix"] * 1000),
+        manifest["config_hash"][:8],
+    )
+    path = os.path.join(directory, name)
+    tmp = path + ".tmp"
+    with open(tmp, "w") as handle:
+        json.dump(manifest, handle, indent=2, sort_keys=True)
+        handle.write("\n")
+    os.replace(tmp, path)
+    return path
+
+
+def load_manifest(path: str) -> dict:
+    with open(path) as handle:
+        return json.load(handle)
+
+
+def list_manifests(directory: Optional[str] = None) -> List[str]:
+    """Manifest paths in *directory*, oldest first."""
+    directory = manifest_dir(directory)
+    if not os.path.isdir(directory):
+        return []
+    return sorted(
+        os.path.join(directory, name)
+        for name in os.listdir(directory)
+        if name.endswith(".json")
+    )
+
+
+def latest_manifest(directory: Optional[str] = None) -> Optional[dict]:
+    """The most recently written manifest, or None."""
+    paths = list_manifests(directory)
+    return load_manifest(paths[-1]) if paths else None

@@ -78,11 +78,16 @@ class InvisiSpecModel(ProtectionModel):
                 continue
             # Visibility point reached: validate (blocking) or expose.
             result = core.hierarchy.expose_fill(entry.addr, now)
+            obs = core.obs
             if entry.needs_validation:
                 entry.retire_ready = now + result.latency
                 core.stats.validations += 1
+                if obs is not None and obs.load_validate is not None:
+                    obs.load_validate(entry, now, result.latency)
             else:
                 core.stats.exposures += 1
+                if obs is not None and obs.load_expose is not None:
+                    obs.load_expose(entry, now)
         self._pending = still_pending
 
     def next_event(self, now: int) -> Optional[int]:

@@ -123,6 +123,34 @@ class PipelineStats:
             name: count / total for name, count in self.cycle_class.items()
         }
 
+    def snapshot(self) -> "PipelineStats":
+        """Independent copy of the counter block (dicts deep-copied)."""
+        copy = PipelineStats()
+        for info in fields(PipelineStats):
+            value = getattr(self, info.name)
+            setattr(
+                copy, info.name,
+                dict(value) if isinstance(value, dict) else value,
+            )
+        return copy
+
+    def delta(self, start: "PipelineStats") -> "PipelineStats":
+        """Counters accumulated since *start* (a snapshot of this core)."""
+        delta = PipelineStats()
+        for info in fields(PipelineStats):
+            name = info.name
+            end_value = getattr(self, name)
+            start_value = getattr(start, name)
+            if isinstance(end_value, dict):
+                setattr(
+                    delta, name,
+                    {k: end_value[k] - start_value.get(k, 0)
+                     for k in end_value},
+                )
+            else:
+                setattr(delta, name, end_value - start_value)
+        return delta
+
     def to_dict(self) -> Dict:
         """JSON-serializable form (dict keys become strings)."""
         out: Dict = {}

@@ -41,29 +41,13 @@ def t95(dof: int) -> float:
 
 
 def stats_delta(end: PipelineStats, start: PipelineStats) -> PipelineStats:
-    """Counters accumulated between two snapshots of the same core."""
-    delta = PipelineStats()
-    for field_info in fields(PipelineStats):
-        name = field_info.name
-        end_value = getattr(end, name)
-        start_value = getattr(start, name)
-        if isinstance(end_value, dict):
-            setattr(
-                delta, name,
-                {k: end_value[k] - start_value.get(k, 0) for k in end_value},
-            )
-        else:
-            setattr(delta, name, end_value - start_value)
-    return delta
+    """Back-compat alias for :meth:`PipelineStats.delta`."""
+    return end.delta(start)
 
 
 def snapshot(stats: PipelineStats) -> PipelineStats:
-    copy = PipelineStats()
-    for field_info in fields(PipelineStats):
-        name = field_info.name
-        value = getattr(stats, name)
-        setattr(copy, name, dict(value) if isinstance(value, dict) else value)
-    return copy
+    """Back-compat alias for :meth:`PipelineStats.snapshot`."""
+    return stats.snapshot()
 
 
 @dataclass
@@ -146,7 +130,7 @@ def run_window(
         if start is None and core.committed >= warmup:
             core.stats.cycles = core.cycle
             core.stats.committed = core.committed
-            start = snapshot(core.stats)
+            start = core.stats.snapshot()
         if start is not None and core.committed >= warmup + measure:
             break
     if start is None:
@@ -157,7 +141,7 @@ def run_window(
         )
     core.stats.cycles = core.cycle
     core.stats.committed = core.committed
-    window = stats_delta(core.stats, start)
+    window = core.stats.delta(start)
     if window.committed == 0:
         raise SimulationError("empty measurement window for %s" % program.name)
     return window

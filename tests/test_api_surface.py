@@ -30,6 +30,7 @@ PACKAGES = [
     "repro.workloads",
     "repro.stats",
     "repro.harness",
+    "repro.obs",
 ]
 
 

@@ -1,0 +1,83 @@
+"""Rendering tests for the plain-text report helpers."""
+
+from __future__ import annotations
+
+from repro.stats.report import (
+    _fmt,
+    render_histogram,
+    render_series,
+    render_table,
+)
+
+
+class TestFmt:
+    def test_floats_get_three_decimals(self):
+        assert _fmt(1.5) == "1.500"
+        assert _fmt(0.12345) == "0.123"
+
+    def test_non_floats_pass_through(self):
+        assert _fmt(7) == "7"
+        assert _fmt("abc") == "abc"
+
+
+class TestRenderTable:
+    def test_columns_align_to_widest_cell(self):
+        text = render_table(
+            ("name", "v"),
+            [("short", 1), ("a-much-longer-name", 22)],
+        )
+        lines = text.splitlines()
+        assert len(lines) == 4
+        header, rule, first, second = lines
+        assert header.startswith("name")
+        assert set(rule) <= {"-", " "}
+        # All rows pad the first column to the widest entry.
+        assert first.index("1") == second.index("2")
+
+    def test_title_is_first_line(self):
+        text = render_table(("a",), [(1,)], title="My Table")
+        assert text.splitlines()[0] == "My Table"
+
+    def test_empty_rows_render_header_only(self):
+        lines = render_table(("a", "b"), []).splitlines()
+        assert len(lines) == 2
+
+    def test_float_cells_are_formatted(self):
+        text = render_table(("x",), [(2.0,)])
+        assert "2.000" in text
+
+
+class TestRenderSeries:
+    def test_series_is_a_two_column_table(self):
+        text = render_series(
+            "Fig X", [1, 2], [10.0, 20.0],
+            x_label="cycle", y_label="cpi",
+        )
+        lines = text.splitlines()
+        assert lines[0] == "Fig X"
+        assert lines[1].split() == ["cycle", "cpi"]
+        assert "10.000" in text and "20.000" in text
+        assert len(lines) == 5
+
+
+class TestRenderHistogram:
+    def test_empty_histogram(self):
+        assert render_histogram("lat", {}) == "lat: (empty)"
+
+    def test_bars_scale_to_peak(self):
+        text = render_histogram("lat", {1: 10, 2: 5, 4: 1}, width=10)
+        lines = text.splitlines()
+        assert lines[0] == "lat"
+        bars = [line.split("|")[1].strip().split()[0] for line in lines[1:]]
+        assert bars[0] == "#" * 10
+        assert bars[1] == "#" * 5
+        assert bars[2] == "#"  # every nonzero bucket gets at least one #
+
+    def test_buckets_sorted_by_key(self):
+        text = render_histogram("lat", {8: 1, 1: 1, 4: 1})
+        keys = [int(line.split("|")[0]) for line in text.splitlines()[1:]]
+        assert keys == [1, 4, 8]
+
+    def test_counts_appended(self):
+        text = render_histogram("lat", {2: 7})
+        assert text.splitlines()[1].endswith("7")
