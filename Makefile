@@ -1,8 +1,8 @@
 PYTHON ?= python
 export PYTHONPATH := src
 
-.PHONY: test attack-smoke bench-smoke fuzz-smoke obs-smoke bench \
-	bench-simspeed cache-clear
+.PHONY: test attack-smoke bench-smoke fuzz-smoke obs-smoke server-smoke \
+	bench bench-simspeed cache-clear
 
 test:
 	$(PYTHON) -m pytest -x -q
@@ -33,6 +33,14 @@ obs-smoke:
 		--output results/traces/spectre_v1_cache-strict.json
 	$(PYTHON) -m repro.cli obs manifest validate
 	$(PYTHON) -m repro.cli obs metrics
+
+# Job-server smoke: boot the HTTP service, submit the same tiny sweep
+# twice (the second must dedup to the completed job), exercise the
+# nda-repro submit client, then restart with a fresh queue and require
+# the warm cache to answer inline with zero engine executions, scraping
+# /metrics throughout (mirrors CI).
+server-smoke:
+	$(PYTHON) benchmarks/server_smoke.py
 
 # Simulator-speed benchmark: host kilo-cycles/sec with the idle-cycle
 # fast-forward on vs off, plus telemetry-bus overhead; refreshes the

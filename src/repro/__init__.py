@@ -27,7 +27,7 @@ suite engine::
     print(suite.engine.describe())
 """
 
-from repro.api import simulate
+from repro.api import run_attack, run_window, simulate, submit_suite
 from repro.config import (
     CacheConfig,
     ConfigSpec,
@@ -54,8 +54,6 @@ from repro.core import (
     InOrderCore,
     OutOfOrderCore,
     RunOutcome,
-    run_inorder,
-    run_program,
 )
 from repro.engine import ResultCache
 from repro.harness.experiment import SuiteResult, run_suite
@@ -68,10 +66,19 @@ from repro.errors import (
 )
 from repro.isa import Assembler, Opcode, Program, run_reference
 
+# Heavyweight optional surfaces (fuzzer, telemetry, job-server client)
+# are served lazily through repro.api so importing repro stays cheap.
+from repro.api import _FUZZ_EXPORTS, _OBS_EXPORTS, _SERVER_EXPORTS
+
+_LAZY_EXPORTS = _SERVER_EXPORTS + _FUZZ_EXPORTS + _OBS_EXPORTS
+
 __version__ = "1.0.0"
 
 __all__ = [
     "simulate",
+    "run_attack",
+    "run_window",
+    "submit_suite",
     "CacheConfig",
     "ConfigSpec",
     "CoreConfig",
@@ -96,8 +103,6 @@ __all__ = [
     "InOrderCore",
     "OutOfOrderCore",
     "RunOutcome",
-    "run_inorder",
-    "run_program",
     "AssemblyError",
     "ConfigError",
     "DeadlockError",
@@ -108,4 +113,17 @@ __all__ = [
     "Program",
     "run_reference",
     "__version__",
+    *_LAZY_EXPORTS,
 ]
+
+
+def __getattr__(name: str):
+    if name in _LAZY_EXPORTS:
+        import repro.api
+
+        return getattr(repro.api, name)
+    raise AttributeError("module %r has no attribute %r" % (__name__, name))
+
+
+def __dir__():
+    return sorted(set(globals()) | set(_LAZY_EXPORTS))

@@ -1,13 +1,38 @@
-"""The one-call simulation facade.
+"""The one documented simulation surface.
 
-:func:`simulate` subsumes the historical ``run_program`` (out-of-order)
-and ``run_inorder`` (in-order baseline) split: callers pick the core with
-the ``in_order`` keyword instead of picking a function.  The old names
-remain as thin deprecation shims.
+Everything a caller needs lives here, under four run functions with one
+shared keyword vocabulary and a typed client for the job server:
+
+* :func:`simulate`     — run one program to completion (OoO or in-order)
+* :func:`run_attack`   — run one attack PoC program (same knobs)
+* :func:`run_window`   — one SMARTS measurement window (same knobs)
+* :func:`submit_suite` — the full paper sweep through the parallel engine
+* :class:`ServerClient` — HTTP client for ``repro.server`` (lazy import)
+
+The shared keywords mean the same thing everywhere they appear:
+
+``in_order``
+    Pick the serial timing core instead of the out-of-order pipeline.
+``max_cycles``
+    Cycle budget; ``None`` selects the per-core default (5M cycles
+    out-of-order, 50M in-order — the in-order core needs more cycles
+    for the same instruction count).
+``fast_forward``
+    Toggle the OoO core's bit-identical idle-cycle fast-forward.
+    Results are unchanged either way; ``False`` exists for equivalence
+    tests and the simulator-speed benchmark.
+``manifest``
+    Write a JSON provenance record for the run under
+    ``results/manifests/`` (or ``REPRO_MANIFEST_DIR``).  Opt-in so bulk
+    callers like the test suite produce no files.
+
+The historical ``run_program``/``run_inorder`` split is gone from the
+public surface; the old names survive only as deprecation shims on their
+defining modules (:mod:`repro.core.ooo`, :mod:`repro.core.inorder`).
 
 The differential fuzzer's entry points (``run_with_oracle``,
-``run_campaign``, ``run_seed``, ``TaintOracle``, ``LeakWitness``) are
-re-exported here lazily — they resolve to :mod:`repro.fuzz` on first
+``run_campaign``, ``run_seed``, ``TaintOracle``, ``LeakWitness``) and the
+telemetry layer's names are re-exported lazily — they resolve on first
 attribute access, so plain ``simulate`` users never pay the import.
 """
 
@@ -20,11 +45,24 @@ from repro.core.inorder import InOrderCore
 from repro.core.ooo import OutOfOrderCore
 from repro.core.outcome import RunOutcome
 from repro.isa.program import Program
+from repro.stats.counters import PipelineStats
 
-#: Default cycle budgets per core class (the in-order core needs more
-#: cycles for the same instruction count).
+#: Default cycle budgets per core class, shared by every run function.
 _DEFAULT_MAX_CYCLES_OOO = 5_000_000
 _DEFAULT_MAX_CYCLES_INORDER = 50_000_000
+
+
+def _budget(max_cycles: Optional[int], in_order: bool) -> int:
+    if max_cycles is not None:
+        return max_cycles
+    return _DEFAULT_MAX_CYCLES_INORDER if in_order \
+        else _DEFAULT_MAX_CYCLES_OOO
+
+
+def _write_run_manifest(config, workload: str, stats) -> None:
+    from repro.obs.manifest import build_manifest, write_manifest
+
+    write_manifest(build_manifest(config, workload=workload, stats=stats))
 
 
 def simulate(
@@ -46,35 +84,117 @@ def simulate(
 
     ``in_order=True`` selects the serial timing core (the paper's
     TimingSimpleCPU analog), which ignores ``direction_predictor``.
-    ``max_cycles`` defaults to a per-core budget (5M cycles out-of-order,
-    50M in-order).  ``fast_forward=False`` disables the out-of-order
-    core's bit-identical idle-cycle fast-forward (results are unchanged
-    either way; the flag exists for equivalence tests and the simulator
-    speed benchmark).  ``manifest=True`` writes a JSON provenance record
-    for the run under ``results/manifests/`` (or ``REPRO_MANIFEST_DIR``)
-    — opt-in so bulk callers like the test suite produce no files.
+    See the module docstring for the shared keyword contract.
     """
     if in_order:
         core: Union[InOrderCore, OutOfOrderCore] = InOrderCore(
             program, config
         )
-        budget = max_cycles or _DEFAULT_MAX_CYCLES_INORDER
     else:
         core = OutOfOrderCore(
             program, config, direction_predictor=direction_predictor,
             fast_forward=fast_forward,
         )
-        budget = max_cycles or _DEFAULT_MAX_CYCLES_OOO
-    outcome = core.run(max_cycles=budget)
+    outcome = core.run(max_cycles=_budget(max_cycles, in_order))
     if manifest:
-        from repro.obs.manifest import build_manifest, write_manifest
-
-        write_manifest(build_manifest(
-            core.config,
-            workload=program.name or "",
-            stats=outcome.stats,
-        ))
+        _write_run_manifest(core.config, program.name or "", outcome.stats)
     return outcome
+
+
+def run_attack(
+    program: Program,
+    config: Optional[SimConfig] = None,
+    *,
+    in_order: bool = False,
+    max_cycles: Optional[int] = None,
+    fast_forward: bool = True,
+    manifest: bool = False,
+) -> RunOutcome:
+    """Execute an attack proof-of-concept program on the chosen core.
+
+    Identical to :func:`simulate` minus the direction-predictor knob
+    (attacks pin their own predictor state); the host-side harnesses in
+    :mod:`repro.attacks` read the covert-channel timings out of the
+    returned outcome's final memory.
+    """
+    outcome = simulate(
+        program, config, in_order=in_order,
+        max_cycles=max_cycles, fast_forward=fast_forward,
+    )
+    if manifest:
+        cfg = config if config is not None else SimConfig()
+        _write_run_manifest(cfg, program.name or "", outcome.stats)
+    return outcome
+
+
+def run_window(
+    program: Program,
+    config: SimConfig,
+    warmup: int = 2_000,
+    measure: int = 8_000,
+    *,
+    in_order: bool = False,
+    max_cycles: Optional[int] = None,
+    fast_forward: bool = True,
+    manifest: bool = False,
+) -> PipelineStats:
+    """Run one SMARTS measurement window and return its counters.
+
+    Discards the first *warmup* committed instructions and measures the
+    next *measure*; raises :class:`~repro.errors.SimulationError` if the
+    program halts before the warm-up completes.  Shares the keyword
+    contract of :func:`simulate` (see module docstring).
+    """
+    from repro.stats.sampling import run_window as _run_window
+
+    window = _run_window(
+        program, config, warmup, measure, in_order=in_order,
+        max_cycles=_budget(max_cycles, in_order),
+        fast_forward=fast_forward,
+    )
+    if manifest:
+        _write_run_manifest(config, program.name or "", window)
+    return window
+
+
+def submit_suite(
+    benchmarks=None,
+    configs=None,
+    *,
+    samples: int = 3,
+    warmup: int = 2_000,
+    measure: int = 8_000,
+    instructions: int = 14_000,
+    seed0: int = 0,
+    jobs: Optional[int] = None,
+    cache=False,
+    cache_dir=None,
+    progress=None,
+    collect_trace: bool = False,
+):
+    """Run a full sweep through the parallel suite engine.
+
+    A keyword-only facade over :func:`repro.harness.experiment.run_suite`
+    (which remains available for positional callers): expands
+    ``(benchmark, config, sample)`` jobs, fans them out over worker
+    processes, and serves repeats from the content-addressed on-disk
+    cache.  Returns a :class:`~repro.harness.experiment.SuiteResult`
+    with per-job engine/cache accounting on ``.engine``.
+
+    For the same sweep as a durable HTTP job instead, submit the spec
+    through :class:`ServerClient` — the server derives the identical
+    cache keys, so warm results short-circuit its queue too.
+    """
+    from repro.harness.experiment import DEFAULT_SUITE, run_suite
+
+    return run_suite(
+        benchmarks if benchmarks is not None else DEFAULT_SUITE,
+        configs,
+        samples=samples, warmup=warmup, measure=measure,
+        instructions=instructions, seed0=seed0, jobs=jobs,
+        cache=cache, cache_dir=cache_dir, progress=progress,
+        collect_trace=collect_trace,
+    )
 
 
 #: Fuzzer names served lazily from :mod:`repro.fuzz` (PEP 562).
@@ -98,6 +218,23 @@ _OBS_EXPORTS = (
     "write_manifest",
 )
 
+#: Job-server client names served lazily from :mod:`repro.server.client`.
+_SERVER_EXPORTS = (
+    "JobStatus",
+    "ServerClient",
+    "ServerError",
+)
+
+__all__ = [
+    "simulate",
+    "run_attack",
+    "run_window",
+    "submit_suite",
+    *_SERVER_EXPORTS,
+    *_FUZZ_EXPORTS,
+    *_OBS_EXPORTS,
+]
+
 
 def __getattr__(name: str):
     if name in _FUZZ_EXPORTS:
@@ -108,4 +245,12 @@ def __getattr__(name: str):
         import repro.obs
 
         return getattr(repro.obs, name)
+    if name in _SERVER_EXPORTS:
+        import repro.server.client
+
+        return getattr(repro.server.client, name)
     raise AttributeError("module %r has no attribute %r" % (__name__, name))
+
+
+def __dir__():
+    return sorted(set(globals()) | set(__all__))

@@ -16,6 +16,9 @@ Subcommands::
     nda-repro fuzz run --seeds 200 --jobs 8   # differential leak fuzzing
     nda-repro fuzz replay 7 --config strict   # one seed on one config
     nda-repro fuzz minimize 7 --output w.json # ddmin to a reproducer
+    nda-repro serve --workers 2 --tokens tokens.json # HTTP job server
+    nda-repro submit sweep mcf --config strict --wait # job via the server
+    nda-repro submit attack spectre_v1_cache --wait
     nda-repro obs trace spectre_v1 --config strict   # Perfetto export
     nda-repro obs metrics                    # render latest metric snapshot
     nda-repro obs manifest list              # run provenance records
@@ -98,6 +101,10 @@ def _build_parser() -> argparse.ArgumentParser:
     )
     attack.add_argument("--secret", type=int, default=42)
     attack.add_argument("--guesses", type=int, default=64)
+    attack.add_argument(
+        "--json", action="store_true",
+        help="print a repro.result/v1 attack envelope instead of text",
+    )
 
     matrix = sub.add_parser(
         "matrix", help="run every attack on every configuration"
@@ -134,6 +141,10 @@ def _build_parser() -> argparse.ArgumentParser:
     run_cmd.add_argument(
         "--no-fast-forward", action="store_true",
         help="disable the bit-identical idle-cycle fast-forward",
+    )
+    run_cmd.add_argument(
+        "--json", action="store_true",
+        help="print a repro.result/v1 run envelope instead of text",
     )
 
     simspeed = sub.add_parser(
@@ -244,6 +255,63 @@ def _build_parser() -> argparse.ArgumentParser:
         help="configs the minimized program must NOT leak under",
     )
     fuzz_min.add_argument("--max-tests", type=int, default=400)
+
+    serve_cmd = sub.add_parser(
+        "serve", help="run the HTTP job server (simulation-as-a-service)"
+    )
+    serve_cmd.add_argument("--host", default="127.0.0.1")
+    serve_cmd.add_argument("--port", type=int, default=8765)
+    serve_cmd.add_argument(
+        "--queue-dir", default=None, metavar="DIR",
+        help="durable queue root (default: results/queue)",
+    )
+    serve_cmd.add_argument(
+        "--workers", type=int, default=1, metavar="N",
+        help="worker threads draining the queue (default: 1)",
+    )
+    serve_cmd.add_argument(
+        "--engine-jobs", type=int, default=1, metavar="N",
+        help="engine worker processes per sweep job (default: 1)",
+    )
+    serve_cmd.add_argument(
+        "--tokens", default=None, metavar="FILE",
+        help="token table JSON; omitting it runs the server open",
+    )
+    serve_cmd.add_argument("--max-retries", type=int, default=2)
+    serve_cmd.add_argument("--no-cache", action="store_true",
+                           help="bypass the content-addressed result cache")
+    serve_cmd.add_argument("--cache-dir", default=None, metavar="DIR")
+
+    submit_cmd = sub.add_parser(
+        "submit", help="submit a job to a running repro server"
+    )
+    submit_cmd.add_argument(
+        "kind", choices=["sweep", "attack", "fuzz"],
+        help="job kind (see DESIGN.md §3.6 for the spec fields)",
+    )
+    submit_cmd.add_argument(
+        "target", nargs="*", default=[],
+        help="attack: the attack name; sweep: benchmark names; "
+             "fuzz: ignored",
+    )
+    submit_cmd.add_argument(
+        "--server", default="http://127.0.0.1:8765", metavar="URL"
+    )
+    submit_cmd.add_argument("--token", default=None)
+    submit_cmd.add_argument(
+        "--config", default=None, metavar="NAME",
+        help="attack: the config to attack; sweep: may repeat via --spec",
+    )
+    submit_cmd.add_argument(
+        "--spec", default=None, metavar="JSON",
+        help="inline JSON merged over the positional shorthand",
+    )
+    submit_cmd.add_argument("--priority", type=int, default=0)
+    submit_cmd.add_argument(
+        "--wait", action="store_true",
+        help="block until the job finishes and print its result envelope",
+    )
+    submit_cmd.add_argument("--timeout", type=float, default=600.0)
 
     obs = sub.add_parser(
         "obs", help="telemetry: Perfetto traces, metrics, run manifests"
@@ -357,11 +425,20 @@ def main(argv: Optional[List[str]] = None) -> int:
         outcome = info.module.run(
             config, secret=args.secret, guesses=guesses, in_order=in_order
         )
-        print(outcome)
-        if hasattr(outcome, "bit_timings"):
-            print("bit timings:", outcome.bit_timings)
+        if args.json:
+            import json as json_mod
+
+            from repro.envelope import attack_envelope
+            print(json_mod.dumps(
+                attack_envelope(outcome), indent=2, sort_keys=True
+            ))
         else:
-            print("timings:", dict(zip(outcome.guesses, outcome.timings)))
+            print(outcome)
+            if hasattr(outcome, "bit_timings"):
+                print("bit timings:", outcome.bit_timings)
+            else:
+                print("timings:",
+                      dict(zip(outcome.guesses, outcome.timings)))
         return 0 if not outcome.leaked else 1
 
     if args.command == "matrix":
@@ -385,6 +462,15 @@ def main(argv: Optional[List[str]] = None) -> int:
             program, spec.config, in_order=spec.in_order,
             fast_forward=not args.no_fast_forward,
         )
+        if args.json:
+            import json as json_mod
+
+            from repro.envelope import run_envelope
+            print(json_mod.dumps(run_envelope(
+                outcome, benchmark=args.benchmark, config=args.config,
+                seed=args.seed, instructions=args.instructions,
+            ), indent=2, sort_keys=True))
+            return 0
         print(outcome)
         if args.stats:
             for key, value in outcome.stats.summary().items():
@@ -459,6 +545,61 @@ def main(argv: Optional[List[str]] = None) -> int:
         print()
         print("mean complete-to-broadcast (wake-up) delay: %.1f cycles"
               % tracer.mean_wakeup_delay())
+        return 0
+
+    if args.command == "serve":
+        from repro.server import DEFAULT_QUEUE_DIR, TokenAuth, serve
+        kwargs = {
+            "queue_dir": args.queue_dir or DEFAULT_QUEUE_DIR,
+            "workers": args.workers,
+            "engine_jobs": args.engine_jobs,
+            "max_retries": args.max_retries,
+            "cache": not args.no_cache,
+            "cache_dir": None if args.no_cache else args.cache_dir,
+        }
+        if args.tokens:
+            kwargs["auth"] = TokenAuth.load(args.tokens)
+        serve(host=args.host, port=args.port, **kwargs)
+        return 0
+
+    if args.command == "submit":
+        import json as json_mod
+
+        from repro.server import ServerClient, ServerError
+        spec: dict = {}
+        if args.kind == "attack" and args.target:
+            spec["attack"] = args.target[0]
+        elif args.kind == "sweep" and args.target:
+            spec["benchmarks"] = list(args.target)
+        if args.config:
+            if args.kind == "attack":
+                spec["config"] = args.config
+            else:
+                spec["configs"] = [args.config]
+        if args.spec:
+            spec.update(json_mod.loads(args.spec))
+        client = ServerClient(args.server, token=args.token)
+        try:
+            job = client.submit(args.kind, spec, priority=args.priority)
+            if args.wait:
+                job = client.wait(job.id, timeout=args.timeout)
+                if job.state == "failed":
+                    print("job %s failed: %s" % (job.id[:12], job.error),
+                          file=sys.stderr)
+                    return 1
+                print(json_mod.dumps(client.result(job.id), indent=2,
+                                     sort_keys=True))
+            else:
+                print("job %s %s (queue position %s)"
+                      % (job.id, job.state, job.queue_position))
+        except ServerError as err:
+            print("server error [%d %s]: %s"
+                  % (err.status, err.code, err), file=sys.stderr)
+            return 1
+        except OSError as err:
+            print("cannot reach %s: %s" % (args.server, err),
+                  file=sys.stderr)
+            return 1
         return 0
 
     if args.command == "figure":

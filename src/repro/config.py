@@ -409,9 +409,18 @@ class ConfigSpec:
 
     @classmethod
     def coerce(cls, spec) -> "ConfigSpec":
-        """Accept a ConfigSpec or a legacy (label, config, in_order) tuple."""
+        """Accept a ConfigSpec, a registry name ("ooo", "strict", ...),
+        or a legacy (label, config, in_order) tuple."""
         if isinstance(spec, cls):
             return spec
+        if isinstance(spec, str):
+            registry = config_registry()
+            if spec not in registry:
+                raise ConfigError(
+                    "unknown config name %r; known: %s"
+                    % (spec, ", ".join(sorted(registry)))
+                )
+            return registry[spec]
         label, config, in_order = spec
         return cls(label=label, config=config, in_order=bool(in_order))
 

@@ -1,10 +1,10 @@
 """Processor cores: the out-of-order pipeline and the in-order baseline."""
 
 from repro.core.fu import FUPool
-from repro.core.inorder import InOrderCore, run_inorder
+from repro.core.inorder import InOrderCore
 from repro.core.issue_queue import IssueQueue
 from repro.core.lsq import LSQ, LoadAction, LoadDecision
-from repro.core.ooo import OutOfOrderCore, run_program
+from repro.core.ooo import OutOfOrderCore
 from repro.core.outcome import RunOutcome
 from repro.core.rename import PhysRegFile, RenameTable
 from repro.core.rob import ROB, DynInstr
@@ -12,13 +12,11 @@ from repro.core.rob import ROB, DynInstr
 __all__ = [
     "FUPool",
     "InOrderCore",
-    "run_inorder",
     "IssueQueue",
     "LSQ",
     "LoadAction",
     "LoadDecision",
     "OutOfOrderCore",
-    "run_program",
     "RunOutcome",
     "PhysRegFile",
     "RenameTable",

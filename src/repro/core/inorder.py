@@ -242,8 +242,10 @@ def run_inorder(
     from repro.api import simulate
 
     warnings.warn(
-        "run_inorder() is deprecated; use "
-        "repro.simulate(program, config, in_order=True)",
+        "run_inorder() is deprecated and no longer exported from the "
+        "repro package; migrate to repro.simulate(program, config, "
+        "in_order=True). This shim (repro.core.inorder.run_inorder) "
+        "will be removed next.",
         DeprecationWarning, stacklevel=2,
     )
     return simulate(program, config, in_order=True, max_cycles=max_cycles)

@@ -929,7 +929,9 @@ def run_program(
     from repro.api import simulate
 
     warnings.warn(
-        "run_program() is deprecated; use repro.simulate(program, config)",
+        "run_program() is deprecated and no longer exported from the "
+        "repro package; migrate to repro.simulate(program, config). "
+        "This shim (repro.core.ooo.run_program) will be removed next.",
         DeprecationWarning, stacklevel=2,
     )
     return simulate(

@@ -94,6 +94,16 @@ class ResultCache:
     def _path(self, key: str) -> Path:
         return self.root / key[:2] / (key + ".json")
 
+    def has(self, job: SimJob) -> bool:
+        """Whether *job*'s window is on disk, without reading it.
+
+        A pure existence probe: no hit/miss accounting, no JSON parse.
+        The job server's submission path uses this to decide whether a
+        sweep can short-circuit the queue entirely; a corrupt entry
+        found later still degrades to re-simulation inside ``load``.
+        """
+        return self._path(job_cache_key(job)).is_file()
+
     def load(self, job: SimJob) -> Optional[PipelineStats]:
         """Return the cached window for *job*, or None on a miss.
 

@@ -1,0 +1,137 @@
+"""The versioned result envelope: one JSON shape for every result.
+
+Before this module, three unrelated JSON shapes carried
+:class:`~repro.core.outcome.RunOutcome`-derived results out of the repo:
+the CLI printed ad-hoc dicts, run manifests used their own top-level
+layout, and the fuzz corpus writers stamped a bare integer ``schema``.
+Every result document now opens with the same two fields::
+
+    {"schema": "repro.result/v1", "kind": "<document kind>", ...}
+
+and is produced by the one serializer here (:func:`make_envelope`).
+``kind`` names the document family (``run``, ``attack``, ``window``,
+``suite``, ``fuzz-witness``, ``job``, ``error``, plus the manifest kinds
+``run``/``trace``/``fuzz-campaign`` — manifests are envelopes too).  The
+body is flat: kind-specific fields sit next to ``schema``/``kind``
+rather than under a nested wrapper, which keeps manifests and corpus
+files human-diffable.
+
+Consumers dispatch on ``schema`` first (reject unknown majors), then on
+``kind``.  :func:`validate_envelope` enforces the common contract;
+kind-specific validation stays with the kind's owner (e.g.
+:func:`repro.obs.manifest.validate_manifest`).
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+#: The one version string every result document opens with.  Bump the
+#: ``/v1`` suffix (and keep a reader for the old one) on incompatible
+#: layout changes.
+RESULT_SCHEMA = "repro.result/v1"
+
+#: Document kinds with a serializer in-repo.  Open set — validate_envelope
+#: accepts unknown kinds so downstream tools can mint their own — but the
+#: CLI/server/manifest/corpus writers stick to these.
+KNOWN_KINDS = (
+    "run", "attack", "window", "suite", "trace", "fuzz-campaign",
+    "fuzz-witness", "job", "error",
+)
+
+
+def make_envelope(kind: str, **body) -> dict:
+    """The one result serializer: stamp ``schema`` + ``kind`` over *body*.
+
+    ``body`` fields land flat at the top level; ``schema`` and ``kind``
+    are reserved and may not appear in it.
+    """
+    if not kind or not isinstance(kind, str):
+        raise ValueError("envelope kind must be a non-empty string")
+    for reserved in ("schema", "kind"):
+        if reserved in body:
+            raise ValueError(
+                "envelope body may not carry the reserved field %r"
+                % reserved
+            )
+    envelope = {"schema": RESULT_SCHEMA, "kind": kind}
+    envelope.update(body)
+    return envelope
+
+
+def validate_envelope(payload) -> List[str]:
+    """Check the common envelope contract; returns problems (empty == ok)."""
+    if not isinstance(payload, dict):
+        return ["envelope must be a JSON object"]
+    problems = []
+    schema = payload.get("schema")
+    if schema != RESULT_SCHEMA:
+        problems.append(
+            "unknown schema %r (this build reads %r)"
+            % (schema, RESULT_SCHEMA)
+        )
+    kind = payload.get("kind")
+    if not isinstance(kind, str) or not kind:
+        problems.append("missing or non-string 'kind'")
+    return problems
+
+
+def is_envelope(payload) -> bool:
+    return isinstance(payload, dict) and payload.get("schema") == RESULT_SCHEMA
+
+
+# ---------------------------------------------------------------------- #
+# RunOutcome-family bodies.
+# ---------------------------------------------------------------------- #
+
+
+def outcome_body(outcome, **extra) -> dict:
+    """Body fields for one :class:`RunOutcome` (kind ``run``/``window``)."""
+    stats = outcome.stats
+    body = {
+        "label": outcome.label,
+        "cycles": stats.cycles,
+        "committed": stats.committed,
+        "cpi": stats.cpi,
+        "stats": stats.to_dict(),
+    }
+    body.update(extra)
+    return body
+
+
+def run_envelope(outcome, **extra) -> dict:
+    """Envelope for one completed simulation run."""
+    return make_envelope("run", **outcome_body(outcome, **extra))
+
+
+def attack_envelope(attack_outcome, **extra) -> dict:
+    """Envelope for one attack PoC outcome (timing or bit channel)."""
+    body = {
+        "attack": attack_outcome.attack,
+        "channel": attack_outcome.channel,
+        "config": attack_outcome.config_label,
+        "secret": attack_outcome.secret,
+        "recovered": attack_outcome.recovered,
+        "leaked": attack_outcome.leaked,
+        "margin": attack_outcome.margin,
+    }
+    if hasattr(attack_outcome, "bit_timings"):
+        body["bit_timings"] = list(attack_outcome.bit_timings)
+        body["threshold"] = attack_outcome.threshold
+    else:
+        body["guesses"] = list(attack_outcome.guesses)
+        body["timings"] = list(attack_outcome.timings)
+    run = getattr(attack_outcome, "outcome", None)
+    if run is not None:
+        body["run"] = outcome_body(run)
+    body.update(extra)
+    return make_envelope("attack", **body)
+
+
+def error_envelope(code: str, message: str,
+                   detail: Optional[dict] = None) -> dict:
+    """Structured error body (HTTP error responses, CLI failures)."""
+    error = {"code": code, "message": message}
+    if detail:
+        error["detail"] = detail
+    return make_envelope("error", error=error)

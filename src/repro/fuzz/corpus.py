@@ -8,10 +8,16 @@ analog).  ``tests/golden/fuzz_corpus/`` holds one file per covert
 channel; the replay test re-runs each under the unprotected baseline
 (must leak on the recorded channel) and under full NDA (must not leak).
 
-Schema (``"schema": 1``)::
+New files are written as versioned result envelopes
+(``"schema": "repro.result/v1"``, ``"kind": "fuzz-witness"`` — see
+:mod:`repro.envelope`); the loader also accepts the pre-envelope layout
+(``"schema": 1``) so the golden corpus keeps replaying unmodified.
+
+Body (shared by both layouts)::
 
     {
-      "schema": 1,
+      "schema": "repro.result/v1",
+      "kind": "fuzz-witness",
       "meta": {"template": ..., "channel": ..., "seed": ...,
                "analog": ..., "config_name": ...},
       "oracle": {"secret_ranges": [[lo, hi], ...],
@@ -35,8 +41,12 @@ import json
 from pathlib import Path
 from typing import Dict, Tuple
 
+from repro.envelope import RESULT_SCHEMA, make_envelope
 from repro.isa.instruction import Instr, Opcode
 from repro.isa.program import Program
+
+#: The pre-envelope corpus tag, still accepted on load.
+LEGACY_SCHEMA = 1
 
 
 def instr_to_dict(instr: Instr) -> dict:
@@ -106,15 +116,15 @@ def save_witness_file(
     tainted_bytes: Tuple[int, ...] = (),
 ) -> None:
     """Write one corpus entry (pretty-printed, key-sorted, stable)."""
-    payload = {
-        "schema": 1,
-        "meta": dict(meta),
-        "oracle": {
+    payload = make_envelope(
+        "fuzz-witness",
+        meta=dict(meta),
+        oracle={
             "secret_ranges": [list(r) for r in secret_ranges],
             "tainted_bytes": list(tainted_bytes),
         },
-        "program": program_to_dict(program),
-    }
+        program=program_to_dict(program),
+    )
     path = Path(path)
     path.parent.mkdir(parents=True, exist_ok=True)
     path.write_text(json.dumps(payload, indent=1, sort_keys=True) + "\n")
@@ -127,10 +137,16 @@ def load_witness_file(path) -> dict:
     "secret_ranges": tuple, "tainted_bytes": tuple}``.
     """
     payload = json.loads(Path(path).read_text())
-    if payload.get("schema") != 1:
+    schema = payload.get("schema")
+    if schema == RESULT_SCHEMA:
+        if payload.get("kind") != "fuzz-witness":
+            raise ValueError(
+                "envelope kind %r is not a corpus entry in %s"
+                % (payload.get("kind"), path)
+            )
+    elif schema != LEGACY_SCHEMA:
         raise ValueError(
-            "unsupported corpus schema %r in %s"
-            % (payload.get("schema"), path)
+            "unsupported corpus schema %r in %s" % (schema, path)
         )
     oracle = payload.get("oracle", {})
     return {

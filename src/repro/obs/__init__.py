@@ -29,6 +29,7 @@ from repro.obs.metrics import (
     MetricsRegistry,
     metrics_from_campaign,
     metrics_from_run,
+    text_exposition,
 )
 from repro.obs.sampler import MetricsSampler
 from repro.obs.perfetto import (
@@ -55,6 +56,7 @@ __all__ = [
     "MetricsRegistry",
     "metrics_from_campaign",
     "metrics_from_run",
+    "text_exposition",
     "MetricsSampler",
     "counter_trace_events",
     "engine_trace_events",

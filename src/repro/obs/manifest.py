@@ -27,14 +27,19 @@ import subprocess
 import time
 from typing import Dict, List, Optional
 
+from repro.envelope import RESULT_SCHEMA
+
 #: Bump when the manifest layout changes incompatibly.
 MANIFEST_SCHEMA_VERSION = 1
 
 #: Default output directory (relative to the working directory).
 DEFAULT_DIR = os.path.join("results", "manifests")
 
-#: (field, type, required) triples of the top-level schema.
+#: (field, type, required) triples of the top-level schema.  ``schema``
+#: is the shared result-envelope tag (``repro.result/v1``, PR 6); it is
+#: optional on read so pre-envelope manifests still load and validate.
 _SCHEMA = (
+    ("schema", str, False),
     ("schema_version", int, True),
     ("kind", str, True),
     ("label", str, True),
@@ -116,6 +121,7 @@ def build_manifest(
     if metrics is not None and hasattr(metrics, "collect"):
         metrics = metrics.collect()
     manifest = {
+        "schema": RESULT_SCHEMA,
         "schema_version": MANIFEST_SCHEMA_VERSION,
         "kind": kind,
         "label": config.label(),
@@ -151,6 +157,11 @@ def validate_manifest(manifest) -> List[str]:
             problems.append(
                 "field %r has type %s" % (field, type(manifest[field]).__name__)
             )
+    if manifest.get("schema") not in (None, RESULT_SCHEMA):
+        problems.append(
+            "unknown schema %r (this build reads %r)"
+            % (manifest.get("schema"), RESULT_SCHEMA)
+        )
     if manifest.get("schema_version") not in (None, MANIFEST_SCHEMA_VERSION):
         problems.append(
             "unknown schema_version %r (this build reads %d)"

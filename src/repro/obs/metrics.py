@@ -357,6 +357,72 @@ def _fmt_value(value) -> str:
     return str(int(value))
 
 
+def _expo_value(value) -> str:
+    """Prometheus sample value: integers bare, floats repr'd."""
+    if isinstance(value, float) and value.is_integer():
+        return str(int(value))
+    return repr(value) if isinstance(value, float) else str(value)
+
+
+def _expo_labels(labels: Dict[str, str], extra: str = "") -> str:
+    pairs = [
+        '%s="%s"' % (k, str(v).replace("\\", "\\\\").replace('"', '\\"'))
+        for k, v in sorted(labels.items())
+    ]
+    if extra:
+        pairs.append(extra)
+    return "{%s}" % ",".join(pairs) if pairs else ""
+
+
+def text_exposition(registry) -> str:
+    """Prometheus-style text rendering of a registry (or a ``collect()``
+    payload) — what the job server returns from ``GET /metrics``.
+
+    Counters and gauges render one sample per label set; histograms
+    render cumulative ``_bucket{le=...}`` series plus ``_sum``/``_count``
+    (the power-of-two lower bounds become upper-bound ``le`` edges).
+    """
+    payload = registry.collect() if hasattr(registry, "collect") else registry
+    lines: List[str] = []
+    for entry in payload.get("metrics", ()):
+        name, kind = entry["name"], entry["kind"]
+        if entry.get("help"):
+            lines.append("# HELP %s %s" % (name, entry["help"]))
+        lines.append("# TYPE %s %s" % (
+            name, "gauge" if kind == "gauge" else
+            "counter" if kind == "counter" else "histogram",
+        ))
+        for sample in entry.get("samples", ()):
+            labels = sample.get("labels", {})
+            if kind == "histogram":
+                cumulative = 0
+                for bucket, count in sorted(
+                    (int(k), v) for k, v in sample["buckets"].items()
+                ):
+                    cumulative += count
+                    upper = bucket * 2 if bucket else 1
+                    lines.append("%s_bucket%s %d" % (
+                        name, _expo_labels(labels, 'le="%d"' % upper),
+                        cumulative,
+                    ))
+                lines.append("%s_bucket%s %d" % (
+                    name, _expo_labels(labels, 'le="+Inf"'),
+                    sample["count"],
+                ))
+                lines.append("%s_sum%s %s" % (
+                    name, _expo_labels(labels), _expo_value(sample["sum"]),
+                ))
+                lines.append("%s_count%s %d" % (
+                    name, _expo_labels(labels), sample["count"],
+                ))
+            else:
+                lines.append("%s%s %s" % (
+                    name, _expo_labels(labels),
+                    _expo_value(sample["value"]),
+                ))
+    return "\n".join(lines) + "\n"
+
+
 def metrics_from_run(stats, **labels: str) -> MetricsRegistry:
     """Registry holding one run's pipeline stats (the common case)."""
     registry = MetricsRegistry()

@@ -1,0 +1,71 @@
+"""Simulation-as-a-service: the async HTTP job server.
+
+The server glues the repo's two reuse layers together — the engine's
+content-addressed result cache (PR 1) and the unified metrics registry
+(PR 5) — behind a durable, authenticated HTTP API: identical requests
+from many users cost one simulation, and everything the service does is
+observable at ``GET /metrics``.
+
+Layering (each module is importable on its own):
+
+* :mod:`repro.server.queue`    — durable priority queue + artifact store
+* :mod:`repro.server.jobspec`  — job kinds, validation, content keys
+* :mod:`repro.server.workers`  — thread pool draining queue via engine
+* :mod:`repro.server.auth`     — token table + per-token rate limiting
+* :mod:`repro.server.app`      — asyncio HTTP front-end (the service)
+* :mod:`repro.server.client`   — typed client (CLI + tests sit on it)
+
+Quick start: ``nda-repro serve`` then ``nda-repro submit attack
+spectre_v1 --config strict --wait`` — or from Python::
+
+    from repro.server import ReproServer
+    from repro.api import ServerClient
+
+    server = ReproServer(queue_dir="results/queue", workers=2)
+    host, port = server.start_background()
+    client = ServerClient("http://%s:%d" % (host, port))
+    print(client.submit_and_wait("sweep", {"benchmarks": ["mcf"],
+                                           "configs": ["ooo", "strict"],
+                                           "samples": 1}))
+    server.close()
+"""
+
+from repro.server.app import DEFAULT_QUEUE_DIR, ReproServer, serve
+from repro.server.auth import Principal, RateLimiter, TokenAuth
+from repro.server.client import JobStatus, ServerClient, ServerError
+from repro.server.jobspec import (
+    JOB_KINDS,
+    AttackJob,
+    SpecError,
+    content_key,
+    is_warm,
+    validate_spec,
+)
+from repro.server.queue import (
+    ArtifactStore,
+    DurableQueue,
+    JobRecord,
+)
+from repro.server.workers import WorkerPool
+
+__all__ = [
+    "DEFAULT_QUEUE_DIR",
+    "ReproServer",
+    "serve",
+    "Principal",
+    "RateLimiter",
+    "TokenAuth",
+    "JobStatus",
+    "ServerClient",
+    "ServerError",
+    "JOB_KINDS",
+    "AttackJob",
+    "SpecError",
+    "content_key",
+    "is_warm",
+    "validate_spec",
+    "ArtifactStore",
+    "DurableQueue",
+    "JobRecord",
+    "WorkerPool",
+]

@@ -82,6 +82,101 @@ class TestRunOutcome:
         assert "2.000" in text
 
 
+class TestConsolidatedFacade:
+    """repro.api is the single documented surface (PR 6)."""
+
+    def test_run_functions_share_keyword_vocabulary(self):
+        import inspect
+
+        from repro import api
+
+        shared = {"in_order", "max_cycles", "fast_forward", "manifest"}
+        for func in (api.simulate, api.run_attack, api.run_window):
+            params = set(inspect.signature(func).parameters)
+            missing = shared - params
+            assert not missing, "%s lacks %s" % (func.__name__, missing)
+
+    def test_facade_all_resolves_including_lazy(self):
+        from repro import api
+
+        for name in api.__all__:
+            assert getattr(api, name) is not None
+
+    def test_server_client_lazy_export(self):
+        import repro
+        from repro import api
+        from repro.server.client import ServerClient
+
+        assert api.ServerClient is ServerClient
+        # ... and forwarded one level up: repro.ServerClient is the same
+        # object, reachable without importing repro.server eagerly.
+        assert repro.ServerClient is ServerClient
+        assert "ServerClient" in repro.__all__ and "ServerClient" in dir(repro)
+
+    def test_unknown_attribute_raises(self):
+        from repro import api
+
+        with pytest.raises(AttributeError):
+            api.not_a_thing
+
+    def test_no_in_repo_caller_of_retired_shims(self):
+        """src/, benchmarks/, and examples/ must not call the shims.
+
+        The defining modules (which hold the shims) and this scan are
+        the only survivors.
+        """
+        import re
+        from pathlib import Path
+
+        root = Path(repro.__file__).resolve().parent.parent.parent
+        pattern = re.compile(r"\b(run_program|run_inorder)\s*\(")
+        offenders = []
+        for tree in ("src", "benchmarks", "examples"):
+            base = root / tree
+            if not base.is_dir():
+                continue
+            for path in sorted(base.rglob("*.py")):
+                if path.name in ("ooo.py", "inorder.py"):
+                    continue
+                for lineno, line in enumerate(
+                    path.read_text().splitlines(), 1
+                ):
+                    if pattern.search(line) and "def " not in line:
+                        offenders.append("%s:%d" % (path, lineno))
+        assert not offenders, "retired shims still called: %s" % offenders
+
+    def test_window_facade_matches_sampling_layer(self):
+        from repro import baseline_ooo, run_window
+        from repro.stats.sampling import run_window as raw_run_window
+        from repro.workloads import spec_program
+
+        program = spec_program("exchange2", 3_000, seed=1)
+        config = baseline_ooo()
+        facade = run_window(program, config, 500, 1_000)
+        raw = raw_run_window(program, config, 500, 1_000)
+        assert facade.to_dict() == raw.to_dict()
+
+    def test_run_attack_matches_simulate(self):
+        from repro import baseline_ooo, run_attack, simulate
+        from repro.workloads import spec_program
+
+        program = spec_program("exchange2", 1_500, seed=2)
+        config = baseline_ooo()
+        assert run_attack(program, config).stats.cycles == \
+            simulate(program, config).stats.cycles
+
+    def test_submit_suite_runs_tiny_sweep(self):
+        from repro import submit_suite
+
+        suite = submit_suite(
+            ["exchange2"], ["ooo"], samples=1, warmup=300,
+            measure=600, instructions=2_000, jobs=1,
+        )
+        assert suite.benchmarks == ["exchange2"]
+        assert suite.run("exchange2", "OoO").mean_cpi > 0
+        assert suite.engine.jobs == 1
+
+
 def test_quickstart_docstring_example_runs():
     """The package docstring's example must stay executable."""
     from repro import NDAPolicyName, baseline_ooo, nda_config, simulate
