@@ -2,7 +2,7 @@ PYTHON ?= python
 export PYTHONPATH := src
 
 .PHONY: test attack-smoke bench-smoke fuzz-smoke obs-smoke server-smoke \
-	bench bench-simspeed cache-clear
+	scale-smoke bench bench-simspeed cache-clear
 
 test:
 	$(PYTHON) -m pytest -x -q
@@ -41,6 +41,14 @@ obs-smoke:
 # /metrics throughout (mirrors CI).
 server-smoke:
 	$(PYTHON) benchmarks/server_smoke.py
+
+# Execution-backend smoke: the same sweep through serial, local-pool,
+# and worker-protocol backends must be bit-identical, then a
+# checkpointing fuzz campaign is SIGTERM'd mid-run and resumed — zero
+# re-execution of completed jobs, identical witness corpus (mirrors CI;
+# checkpoint artifacts land under results/scale-smoke/).
+scale-smoke:
+	$(PYTHON) benchmarks/scale_smoke.py
 
 # Simulator-speed benchmark: host kilo-cycles/sec with the idle-cycle
 # fast-forward on vs off, plus telemetry-bus overhead; refreshes the

@@ -13,6 +13,8 @@ Subcommands::
     nda-repro config ooo             # describe one configuration
     nda-repro config list            # registered schemes + named configs
     nda-repro cache info|clear       # inspect/drop the result cache
+    nda-repro cache gc --older-than 14      # prune stale cached windows
+    nda-repro worker --connect HOST:PORT    # join a worker-protocol run
     nda-repro fuzz run --seeds 200 --jobs 8   # differential leak fuzzing
     nda-repro fuzz replay 7 --config strict   # one seed on one config
     nda-repro fuzz minimize 7 --output w.json # ddmin to a reproducer
@@ -26,7 +28,11 @@ Subcommands::
 
 Sweeps (``bench``/``figure``) run on the parallel suite engine and cache
 windows under ``results/.cache/``; use ``--jobs N`` to size the worker
-pool and ``--no-cache`` to force re-simulation.
+pool and ``--no-cache`` to force re-simulation.  ``--backend`` picks the
+execution backend (``serial``, ``local-pool``, ``worker-protocol``),
+``--remote-cache URL`` tiers the result store with a running job
+server's artifact routes, and ``--checkpoint FILE`` / ``--resume FILE``
+make long campaigns survive preemption (see DESIGN.md §3.7).
 """
 
 from __future__ import annotations
@@ -73,6 +79,51 @@ def _add_engine_args(parser: argparse.ArgumentParser) -> None:
         help="result cache location (default: results/.cache, "
              "or $REPRO_CACHE_DIR)",
     )
+    parser.add_argument(
+        "--remote-cache", default=None, metavar="URL",
+        help="tier the result store with a job server's "
+             "/v1/artifacts routes (read-through, write-back)",
+    )
+    parser.add_argument(
+        "--backend", default=None,
+        choices=["serial", "local-pool", "worker-protocol"],
+        help="execution backend (default: local-pool when --jobs > 1)",
+    )
+    parser.add_argument(
+        "--bind", default=None, metavar="HOST:PORT",
+        help="worker-protocol only: coordinator listen address "
+             "(default: 127.0.0.1, ephemeral port)",
+    )
+    parser.add_argument(
+        "--no-spawn", action="store_true",
+        help="worker-protocol only: do not spawn local workers; wait "
+             "for external `nda-repro worker --connect` processes",
+    )
+    parser.add_argument(
+        "--checkpoint", default=None, metavar="FILE",
+        help="periodically write a resumable checkpoint manifest here",
+    )
+    parser.add_argument(
+        "--resume", default=None, metavar="FILE",
+        help="replay completed jobs from a checkpoint manifest before "
+             "executing the remainder",
+    )
+
+
+def _backend_options(args) -> Optional[dict]:
+    """worker-protocol knobs from ``--bind``/``--no-spawn`` (else None)."""
+    options: dict = {}
+    if getattr(args, "bind", None):
+        from repro.engine.backends.worker_protocol import parse_address
+        try:
+            host, port = parse_address(args.bind)
+        except ValueError as err:
+            raise SystemExit(str(err))
+        options["host"] = host
+        options["port"] = port
+    if getattr(args, "no_spawn", False):
+        options["spawn"] = False
+    return options or None
 
 
 def _engine_kwargs(args) -> dict:
@@ -80,6 +131,11 @@ def _engine_kwargs(args) -> dict:
         "jobs": args.jobs,
         "cache": not args.no_cache,
         "cache_dir": None if args.no_cache else args.cache_dir,
+        "remote_cache": getattr(args, "remote_cache", None),
+        "backend": getattr(args, "backend", None),
+        "backend_options": _backend_options(args),
+        "checkpoint": getattr(args, "checkpoint", None),
+        "resume": getattr(args, "resume", None),
     }
 
 
@@ -182,10 +238,33 @@ def _build_parser() -> argparse.ArgumentParser:
     config_cmd.add_argument("name", choices=["list"] + _CONFIG_NAMES)
 
     cache_cmd = sub.add_parser(
-        "cache", help="inspect or clear the on-disk result cache"
+        "cache", help="inspect, clear, or garbage-collect the result cache"
     )
-    cache_cmd.add_argument("action", choices=["info", "clear"])
+    cache_cmd.add_argument("action", choices=["info", "clear", "gc"])
     cache_cmd.add_argument("--cache-dir", default=None, metavar="DIR")
+    cache_cmd.add_argument(
+        "--older-than", type=float, default=None, metavar="DAYS",
+        help="gc: drop cached windows last touched more than DAYS "
+             "days ago (required for gc)",
+    )
+
+    worker_cmd = sub.add_parser(
+        "worker",
+        help="pull jobs from a worker-protocol coordinator "
+             "(see `--backend worker-protocol --no-spawn`)",
+    )
+    worker_cmd.add_argument(
+        "--connect", required=True, metavar="HOST:PORT",
+        help="coordinator address printed by the driving sweep",
+    )
+    worker_cmd.add_argument(
+        "--processes", type=int, default=1, metavar="N",
+        help="parallel pull loops to run (default: 1)",
+    )
+    worker_cmd.add_argument(
+        "--timeout", type=float, default=30.0, metavar="SECONDS",
+        help="per-connection idle timeout (default: 30)",
+    )
 
     trace = sub.add_parser(
         "trace", help="pipeline trace of a micro-kernel (ASCII chart)"
@@ -229,6 +308,19 @@ def _build_parser() -> argparse.ArgumentParser:
         help="worker processes (default: cpu count)",
     )
     fuzz_run.add_argument("--max-cycles", type=int, default=400_000)
+    fuzz_run.add_argument(
+        "--backend", default=None,
+        choices=["serial", "local-pool", "worker-protocol"],
+        help="execution backend (default: local-pool when --jobs > 1)",
+    )
+    fuzz_run.add_argument(
+        "--checkpoint", default=None, metavar="FILE",
+        help="periodically write a resumable checkpoint manifest here",
+    )
+    fuzz_run.add_argument(
+        "--resume", default=None, metavar="FILE",
+        help="replay completed seeds from a checkpoint manifest",
+    )
 
     fuzz_replay = fuzz_sub.add_parser(
         "replay", help="re-run one seed or corpus file on one config"
@@ -411,10 +503,23 @@ def main(argv: Optional[List[str]] = None) -> int:
         if args.action == "clear":
             removed = cache.clear()
             print("removed %d cached windows from %s" % (removed, cache.root))
+        elif args.action == "gc":
+            if args.older_than is None:
+                print("cache gc requires --older-than DAYS", file=sys.stderr)
+                return 2
+            removed = cache.gc(args.older_than)
+            print("gc removed %d cached windows older than %g days from %s"
+                  % (removed, args.older_than, cache.root))
         else:
             print("cache dir: %s" % cache.root)
             print("entries:   %d" % cache.size())
         return 0
+
+    if args.command == "worker":
+        from repro.engine.backends import worker_main
+        return worker_main(
+            args.connect, processes=args.processes, timeout=args.timeout,
+        )
 
     if args.command == "attack":
         info = next(i for i in IMPLEMENTED if i.name == args.name)
@@ -789,6 +894,9 @@ def _fuzz(args) -> int:
             jobs=args.jobs,
             progress=progress,
             max_cycles=args.max_cycles,
+            backend=args.backend,
+            checkpoint=args.checkpoint,
+            resume=args.resume,
         )
         print(campaign.describe())
         from repro.obs import (
@@ -883,13 +991,22 @@ def _figure(args) -> int:
         return 0
     engine_kwargs = _engine_kwargs(args)
     if args.which == "9e":
+        if engine_kwargs["cache"]:
+            from repro.engine import open_store
+            cache = open_store(
+                engine_kwargs["cache_dir"],
+                remote=engine_kwargs["remote_cache"],
+            )
+        else:
+            cache = False
         print(render_figure9e(figure9e(
             benchmarks=benchmarks,
             jobs=engine_kwargs["jobs"],
-            cache=(
-                ResultCache(engine_kwargs["cache_dir"])
-                if engine_kwargs["cache"] else False
-            ),
+            cache=cache,
+            backend=engine_kwargs["backend"],
+            backend_options=engine_kwargs["backend_options"],
+            checkpoint=engine_kwargs["checkpoint"],
+            resume=engine_kwargs["resume"],
         )))
         return 0
     suite = run_suite(

@@ -1,0 +1,69 @@
+"""The local-pool backend: a fork-based ``ProcessPoolExecutor``.
+
+This is PR 1's scheduler body extracted verbatim — same pool sizing,
+same ``FIRST_COMPLETED`` collection loop, same retry-then-serial rule
+for a job that dies in a worker, same degrade-everything-to-serial when
+the pool itself breaks.  Extraction changed *where* the code lives, not
+what it does: results stay bit-identical with the serial backend (the
+jobs are deterministic; only placement moved).
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
+from typing import List, Tuple
+
+from repro.engine.backends.base import BackendContext, ExecutionBackend
+from repro.engine.jobs import execute_job
+
+
+class LocalPoolBackend(ExecutionBackend):
+    """Fan jobs over ``ctx.workers`` forked processes on this host."""
+
+    name = "local-pool"
+
+    def run(
+        self,
+        pending: List[Tuple[int, object]],
+        ctx: BackendContext,
+    ) -> None:
+        if ctx.workers <= 1 or not pending:
+            for index, job in pending:
+                ctx.run_serially(index, job, False)
+            return
+        factory = ctx.executor_factory or ProcessPoolExecutor
+        remaining = list(pending)
+        try:
+            context = multiprocessing.get_context("fork")
+            with factory(
+                max_workers=ctx.workers, mp_context=context
+            ) as pool:
+                future_to_job = {}
+                for index, job in pending:
+                    ctx.mark_submitted(index)
+                    future_to_job[pool.submit(execute_job, job)] = (
+                        index, job
+                    )
+                not_done = set(future_to_job)
+                while not_done:
+                    finished, not_done = wait(
+                        not_done, return_when=FIRST_COMPLETED
+                    )
+                    for future in finished:
+                        index, job = future_to_job[future]
+                        remaining.remove((index, job))
+                        error = future.exception()
+                        if error is not None:
+                            # Worker died or the job raised: one serial
+                            # retry in the parent, then give up on it.
+                            ctx.run_serially(index, job, True)
+                        else:
+                            ctx.finish(index, future.result())
+        except BaseException:
+            # The pool itself broke (fork refused, transport error,
+            # keyboard interrupt inside shutdown...): degrade to serial
+            # for everything still unaccounted for.
+            ctx.stats.degraded = True
+            for index, job in list(remaining):
+                ctx.run_serially(index, job, True)

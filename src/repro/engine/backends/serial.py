@@ -1,0 +1,28 @@
+"""The serial backend: every job in the driver's own process, in order.
+
+This is the reference executor the other backends must match bit for
+bit: no pools, no sockets, no nondeterminism — just ``execute_job`` in
+submission order.  It is also the engine's universal fallback: platforms
+without ``fork``, ``--jobs 1``, and the degrade target when a fancier
+backend breaks.
+"""
+
+from __future__ import annotations
+
+from typing import List, Tuple
+
+from repro.engine.backends.base import BackendContext, ExecutionBackend
+
+
+class SerialBackend(ExecutionBackend):
+    """Run jobs one after another in the current process."""
+
+    name = "serial"
+
+    def run(
+        self,
+        pending: List[Tuple[int, object]],
+        ctx: BackendContext,
+    ) -> None:
+        for index, job in pending:
+            ctx.run_serially(index, job, False)

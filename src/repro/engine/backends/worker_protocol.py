@@ -1,0 +1,546 @@
+"""The worker-protocol backend: pull-based workers over stdlib sockets.
+
+Placement for runs bigger than one host.  The coordinator (running
+inside ``run_jobs`` in the driver process) listens on a TCP port and
+*leases* jobs to whichever workers connect; each worker is a plain
+process — spawned locally by the backend, or started anywhere that can
+reach the port via ``nda-repro worker --connect HOST:PORT`` — running a
+pull loop:
+
+    connect → hello → { ready → lease → execute → result } * → shutdown
+
+Messages are pickled dicts framed by a 4-byte big-endian length.  The
+protocol is *pull*-based: a worker asks (``ready``) when it has a free
+slot, so fast hosts naturally take more jobs and a stalled host takes
+none.  Every lease carries a deadline; the coordinator's supervision
+loop re-queues jobs whose lease expired or whose worker disconnected
+(``LEASE_RETRY`` — two re-queues, then the coordinator runs the job
+serially itself).  A job that *raises* on a worker gets the engine's
+historical one-serial-retry in the driver, exactly like a pool-worker
+crash.  If no worker ever connects the backend degrades to serial
+rather than hanging the sweep.
+
+Jobs are deterministic, so duplicated execution after a lease expiry is
+harmless: the driver's accounting drops the second completion, and both
+copies computed the same window anyway.
+
+Security: frames are unpickled by both ends, so only run the protocol
+between mutually-trusted hosts on a trusted network (same assumption as
+``ssh``-reachable lab machines; the job server's authenticated HTTP
+routes are the hardened surface).
+"""
+
+from __future__ import annotations
+
+import os
+import pickle
+import queue
+import socket
+import struct
+import subprocess
+import sys
+import threading
+import time
+from typing import List, Optional, Tuple
+
+from repro.engine.backends.base import BackendContext, ExecutionBackend
+from repro.engine.jobs import execute_job
+from repro.engine.retry import LEASE_RETRY, RetryPolicy
+
+_FRAME = struct.Struct(">I")
+
+#: Refuse absurd frames (a stray HTTP client, a corrupted peer) before
+#: allocating for them.  Real frames are a few KB.
+MAX_FRAME = 64 * 1024 * 1024
+
+
+def send_msg(sock: socket.socket, msg: dict) -> None:
+    """Write one length-prefixed pickled message."""
+    blob = pickle.dumps(msg, protocol=pickle.HIGHEST_PROTOCOL)
+    sock.sendall(_FRAME.pack(len(blob)) + blob)
+
+
+def _recv_exact(sock: socket.socket, count: int) -> Optional[bytes]:
+    chunks = []
+    while count:
+        chunk = sock.recv(count)
+        if not chunk:
+            return None  # orderly EOF
+        chunks.append(chunk)
+        count -= len(chunk)
+    return b"".join(chunks)
+
+
+def recv_msg(sock: socket.socket) -> Optional[dict]:
+    """Read one message; None on EOF or an unframeable stream."""
+    header = _recv_exact(sock, _FRAME.size)
+    if header is None:
+        return None
+    (length,) = _FRAME.unpack(header)
+    if length > MAX_FRAME:
+        return None
+    blob = _recv_exact(sock, length)
+    if blob is None:
+        return None
+    try:
+        msg = pickle.loads(blob)
+    except Exception:
+        return None
+    return msg if isinstance(msg, dict) else None
+
+
+class WorkerProtocolBackend(ExecutionBackend):
+    """Coordinator side: lease jobs to pull-based socket workers.
+
+    ``processes`` local workers are spawned as fresh interpreters by
+    default (``spawn=True``); with ``spawn=False`` the coordinator only
+    listens and waits for external ``nda-repro worker --connect``
+    processes (up to ``connect_timeout`` seconds before degrading to
+    serial).  ``host``/``port`` pick the bind address — ``port=0`` lets
+    the OS choose and exposes the result as ``self.address``.
+    """
+
+    name = "worker-protocol"
+
+    def __init__(
+        self,
+        host: str = "127.0.0.1",
+        port: int = 0,
+        processes: Optional[int] = None,
+        spawn: bool = True,
+        lease_timeout: float = 60.0,
+        connect_timeout: float = 15.0,
+        retry: RetryPolicy = LEASE_RETRY,
+        poll_interval: float = 0.05,
+    ) -> None:
+        self.host = host
+        self.port = int(port)
+        self.processes_requested = processes
+        self.spawn = bool(spawn)
+        self.lease_timeout = float(lease_timeout)
+        self.connect_timeout = float(connect_timeout)
+        self.retry = retry
+        self.poll_interval = float(poll_interval)
+        #: (host, port) actually bound, available once ``run`` starts.
+        self.address: Optional[Tuple[str, int]] = None
+        #: Spawned local worker processes (tests SIGTERM these).
+        self.processes: List[subprocess.Popen] = []
+        self._lock = threading.Lock()
+        self._queue: "queue.Queue" = queue.Queue()
+        self._open: set = set()
+        self._leases: dict = {}  # index -> (job, attempts, deadline)
+        self._serial_retries: List[Tuple[int, object]] = []
+        self._ever_connected = False
+        self._live_conns = 0
+        self._peak_conns = 0
+        self._closing = threading.Event()
+
+    def describe(self) -> str:
+        return "%s @ %s:%d" % (self.name, self.host, self.port)
+
+    # ------------------------------------------------------------------ #
+    # Coordinator.
+    # ------------------------------------------------------------------ #
+
+    def run(
+        self,
+        pending: List[Tuple[int, object]],
+        ctx: BackendContext,
+    ) -> None:
+        if not pending:
+            return
+        self._ctx = ctx
+        self._open = {index for index, _job in pending}
+        for index, job in pending:
+            self._queue.put((index, job, 0))
+
+        listener = socket.socket(socket.AF_INET, socket.SOCK_STREAM)
+        listener.setsockopt(socket.SOL_SOCKET, socket.SO_REUSEADDR, 1)
+        listener.bind((self.host, self.port))
+        listener.listen(16)
+        listener.settimeout(self.poll_interval)
+        self.address = (self.host, listener.getsockname()[1])
+
+        workers = self._worker_count(ctx, len(pending))
+        if self.spawn:
+            self._spawn_workers(workers)
+        ctx.stats.workers = max(1, workers)
+
+        accept_thread = threading.Thread(
+            target=self._accept_loop, args=(listener,), daemon=True,
+            name="repro-wp-accept",
+        )
+        accept_thread.start()
+        try:
+            self._supervise(ctx)
+        finally:
+            self._closing.set()
+            try:
+                listener.close()
+            except OSError:
+                pass
+            self._reap_processes()
+            accept_thread.join(timeout=2.0)
+        with self._lock:
+            if self._ever_connected:
+                ctx.stats.workers = max(1, self._peak_conns)
+
+    def _worker_count(self, ctx: BackendContext, pending: int) -> int:
+        if self.processes_requested is not None:
+            requested = self.processes_requested
+        elif ctx.requested_jobs is not None:
+            requested = ctx.requested_jobs
+        else:
+            requested = os.cpu_count() or 1
+        return max(1, min(int(requested), pending))
+
+    def _spawn_workers(self, count: int) -> None:
+        """Launch *count* local workers as fresh interpreters.
+
+        Fresh interpreters (not forks) deliberately: a spawned worker
+        exercises the same import-from-scratch path a remote
+        ``nda-repro worker`` does, so local smoke runs validate the
+        remote deployment story.
+        """
+        import repro
+
+        package_root = os.path.dirname(
+            os.path.dirname(os.path.abspath(repro.__file__))
+        )
+        env = dict(os.environ)
+        existing = env.get("PYTHONPATH", "")
+        env["PYTHONPATH"] = (
+            package_root + os.pathsep + existing if existing
+            else package_root
+        )
+        address = "%s:%d" % self.address
+        for _ in range(count):
+            try:
+                self.processes.append(subprocess.Popen(
+                    [sys.executable, "-m",
+                     "repro.engine.backends.worker_protocol",
+                     "--connect", address],
+                    env=env,
+                    stdout=subprocess.DEVNULL,
+                    stderr=subprocess.DEVNULL,
+                ))
+            except OSError:
+                break  # degrade path picks up whatever failed to spawn
+
+    def _reap_processes(self) -> None:
+        for process in self.processes:
+            if process.poll() is None:
+                try:
+                    process.terminate()
+                except OSError:
+                    pass
+        for process in self.processes:
+            try:
+                process.wait(timeout=5.0)
+            except (OSError, subprocess.TimeoutExpired):
+                try:
+                    process.kill()
+                except OSError:
+                    pass
+
+    def _accept_loop(self, listener: socket.socket) -> None:
+        while not self._closing.is_set():
+            try:
+                conn, _addr = listener.accept()
+            except socket.timeout:
+                continue
+            except OSError:
+                return
+            with self._lock:
+                self._ever_connected = True
+                self._live_conns += 1
+                self._peak_conns = max(self._peak_conns, self._live_conns)
+            threading.Thread(
+                target=self._handle_worker, args=(conn,), daemon=True,
+                name="repro-wp-worker",
+            ).start()
+
+    def _handle_worker(self, conn: socket.socket) -> None:
+        """One connected worker: serve its pull loop until it leaves."""
+        leased: Optional[Tuple[int, object, int]] = None
+        try:
+            hello = recv_msg(conn)
+            if not hello or hello.get("type") != "hello":
+                return
+            while not self._closing.is_set():
+                msg = recv_msg(conn)
+                if msg is None or msg.get("type") == "bye":
+                    return
+                if msg.get("type") != "ready":
+                    continue
+                item = self._next_lease()
+                if item is None:
+                    try:
+                        send_msg(conn, {"type": "shutdown"})
+                    except OSError:
+                        pass
+                    return
+                index, job, attempts = item
+                leased = item
+                try:
+                    send_msg(conn, {"type": "job", "index": index,
+                                    "job": job})
+                    reply = recv_msg(conn)
+                except OSError:
+                    reply = None
+                if reply is None:
+                    # Connection died with the job out: put it back.
+                    self._requeue(index, job, attempts)
+                    leased = None
+                    return
+                leased = None
+                kind = reply.get("type")
+                if kind == "result":
+                    self._complete(index, reply.get("result"))
+                elif kind == "error":
+                    # The job raised on the worker: the engine's
+                    # historical rule is one serial retry in the driver.
+                    self._to_serial(index, job)
+                else:
+                    self._requeue(index, job, attempts)
+        finally:
+            if leased is not None:
+                self._requeue(leased[0], leased[1], leased[2])
+            try:
+                conn.close()
+            except OSError:
+                pass
+            with self._lock:
+                self._live_conns -= 1
+
+    def _next_lease(self) -> Optional[Tuple[int, object, int]]:
+        """Pop the next job still worth running, registering its lease."""
+        while not self._closing.is_set():
+            try:
+                index, job, attempts = self._queue.get(
+                    timeout=self.poll_interval
+                )
+            except queue.Empty:
+                with self._lock:
+                    if not self._open:
+                        return None
+                continue
+            with self._lock:
+                if index not in self._open:
+                    continue  # completed elsewhere while queued
+                self._leases[index] = (
+                    job, attempts,
+                    time.monotonic() + self.lease_timeout,
+                )
+                self._ctx.stats.leases += 1
+            return index, job, attempts
+        return None
+
+    def _requeue(self, index: int, job: object, attempts: int) -> None:
+        """A lease was lost (expiry, disconnect, bad reply): try again."""
+        with self._lock:
+            self._leases.pop(index, None)
+            if index not in self._open:
+                return
+            attempts += 1
+            self._ctx.stats.lease_requeues += 1
+            exhausted = self.retry.exhausted(attempts)
+        if exhausted:
+            self._to_serial(index, job)
+        else:
+            self._queue.put((index, job, attempts))
+
+    def _to_serial(self, index: int, job: object) -> None:
+        """Hand a job to the supervision loop for in-driver execution."""
+        with self._lock:
+            self._leases.pop(index, None)
+            if index not in self._open:
+                return
+            self._serial_retries.append((index, job))
+
+    def _complete(self, index: int, result) -> None:
+        with self._lock:
+            self._leases.pop(index, None)
+            if index not in self._open or result is None:
+                return  # duplicate (post-expiry) completion: drop
+            self._open.discard(index)
+        self._ctx.finish(index, result)
+
+    def _supervise(self, ctx: BackendContext) -> None:
+        """Main-thread loop: expire leases, run serial retries, degrade."""
+        started = time.monotonic()
+        while True:
+            with self._lock:
+                if not self._open:
+                    return
+                now = time.monotonic()
+                expired = [
+                    (index, job, attempts)
+                    for index, (job, attempts, deadline)
+                    in self._leases.items()
+                    if deadline <= now
+                ]
+                retries = list(self._serial_retries)
+                del self._serial_retries[:]
+                idle = (
+                    self._live_conns == 0 and not self._leases
+                    and not retries
+                )
+                never_connected = not self._ever_connected
+            for index, job, attempts in expired:
+                self._requeue(index, job, attempts)
+            for index, job in retries:
+                ctx.run_serially(index, job, True)
+                with self._lock:
+                    self._open.discard(index)
+            if idle and self._should_degrade(never_connected, started):
+                self._degrade(ctx)
+                return
+            time.sleep(self.poll_interval)
+
+    def _should_degrade(self, never_connected: bool, started: float) -> bool:
+        """No worker will make progress: give up on the socket path."""
+        spawned_alive = any(p.poll() is None for p in self.processes)
+        if never_connected:
+            if self.spawn and not spawned_alive:
+                return True  # spawn failed outright
+            return time.monotonic() - started > self.connect_timeout
+        # Workers came and went; none left, none coming back.
+        return not spawned_alive
+
+    def _degrade(self, ctx: BackendContext) -> None:
+        """Run everything still open serially in the driver."""
+        ctx.stats.degraded = True
+        self._closing.set()
+        while True:
+            try:
+                index, job, _attempts = self._queue.get_nowait()
+            except queue.Empty:
+                break
+            with self._lock:
+                if index not in self._open:
+                    continue
+            ctx.run_serially(index, job, True)
+            with self._lock:
+                self._open.discard(index)
+        with self._lock:
+            leftovers = [
+                (index, job)
+                for index, (job, _a, _d) in self._leases.items()
+                if index in self._open
+            ]
+            self._leases.clear()
+        for index, job in leftovers:
+            ctx.run_serially(index, job, True)
+            with self._lock:
+                self._open.discard(index)
+
+
+# ---------------------------------------------------------------------- #
+# Worker side.
+# ---------------------------------------------------------------------- #
+
+
+def parse_address(address: str) -> Tuple[str, int]:
+    """``HOST:PORT`` → tuple (the CLI and spawn path both use this)."""
+    host, _, port = address.rpartition(":")
+    if not host or not port.isdigit():
+        raise ValueError(
+            "worker address must be HOST:PORT, got %r" % (address,)
+        )
+    return host, int(port)
+
+
+def _worker_loop(host: str, port: int, timeout: float = 30.0) -> int:
+    """One pull-execute-return loop against a coordinator."""
+    try:
+        sock = socket.create_connection((host, port), timeout=timeout)
+    except OSError:
+        return 1
+    sock.settimeout(None)  # job lengths are unbounded; block freely
+    try:
+        send_msg(sock, {
+            "type": "hello",
+            "pid": os.getpid(),
+            "host": socket.gethostname(),
+        })
+        while True:
+            send_msg(sock, {"type": "ready"})
+            msg = recv_msg(sock)
+            if msg is None or msg.get("type") == "shutdown":
+                return 0
+            if msg.get("type") != "job":
+                continue
+            index = msg.get("index")
+            try:
+                result = execute_job(msg["job"])
+            except BaseException as error:
+                send_msg(sock, {
+                    "type": "error", "index": index, "error": repr(error),
+                })
+            else:
+                send_msg(sock, {
+                    "type": "result", "index": index, "result": result,
+                })
+    except OSError:
+        return 1
+    finally:
+        try:
+            sock.close()
+        except OSError:
+            pass
+
+
+def worker_main(
+    connect: str,
+    processes: int = 1,
+    timeout: float = 30.0,
+) -> int:
+    """Entry point for ``nda-repro worker``: serve one coordinator.
+
+    Runs ``processes`` independent pull loops (separate OS processes so
+    simulations truly run in parallel) against ``HOST:PORT`` and exits
+    when the coordinator shuts the session down.
+    """
+    host, port = parse_address(connect)
+    processes = max(1, int(processes))
+    if processes == 1:
+        return _worker_loop(host, port, timeout=timeout)
+    import multiprocessing
+
+    children = [
+        multiprocessing.Process(
+            target=_worker_loop, args=(host, port, timeout), daemon=False,
+        )
+        for _ in range(processes)
+    ]
+    for child in children:
+        child.start()
+    status = 0
+    for child in children:
+        child.join()
+        if child.exitcode:
+            status = 1
+    return status
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    import argparse
+
+    parser = argparse.ArgumentParser(
+        description="repro worker: pull jobs from a coordinator",
+    )
+    parser.add_argument(
+        "--connect", required=True, metavar="HOST:PORT",
+        help="coordinator address to pull jobs from",
+    )
+    parser.add_argument(
+        "--processes", type=int, default=1,
+        help="parallel pull loops to run (default 1)",
+    )
+    args = parser.parse_args(argv)
+    return worker_main(args.connect, processes=args.processes)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,176 +1,37 @@
-"""Content-addressed on-disk cache for simulation windows.
+"""Backwards-compatible aliases for the result store.
 
-Every job's measurement window is stored as JSON under
-``results/.cache/<kk>/<key>.json`` where ``key`` is a SHA-256 over the
-complete job identity: the machine configuration
-(:meth:`repro.config.SimConfig.cache_key`), the workload spec (benchmark
-name, instruction budget, derived seed), the sampling parameters (warm-up
-and measurement window sizes, core class), and the code version.  Jobs
-are deterministic, so a key hit can replace a simulation outright; any
-change to the configuration, workload, sampling, or code version changes
-the key and transparently invalidates the entry.
-
-Set ``REPRO_CACHE_DIR`` to relocate the cache; delete the directory (or
-run ``nda-repro cache clear``) to drop it.
+The cache implementation grew into the tiered :mod:`repro.engine.store`
+(sharded disk + remote artifact tier + read-through composition); this
+module keeps the historical import surface — ``ResultCache``,
+``CacheStats``, ``job_cache_key``, ``CACHE_SCHEMA``, ... — pointing at
+it so existing callers and cached entries keep working unchanged.
 """
 
 from __future__ import annotations
 
-import hashlib
-import json
-import os
-from dataclasses import dataclass
-from pathlib import Path
-from typing import Optional
+from repro.engine.store import (
+    CACHE_SCHEMA,
+    CacheStats,
+    RemoteArtifactStore,
+    ResultCache,
+    ResultStore,
+    ShardedDiskStore,
+    TieredStore,
+    _code_version,
+    default_cache_dir,
+    job_cache_key,
+    open_store,
+)
 
-from repro.engine.jobs import SimJob
-from repro.stats.counters import PipelineStats
-
-#: Bump to invalidate every cached window after a change to the simulator
-#: that alters results without changing any SimConfig field.
-#: Schema 2: scheme registry refactor (string scheme names + per-scheme
-#: parameter blocks folded into SimConfig.cache_key()).
-#: Schema 3: workload generator data-RNG derivation changed to
-#: collision-free string sub-seeding (same (benchmark, seed) job now
-#: measures a different generated data image).
-CACHE_SCHEMA = 3
-
-
-def _code_version() -> str:
-    from repro import __version__
-
-    return "%s/schema%d" % (__version__, CACHE_SCHEMA)
-
-
-def default_cache_dir() -> Path:
-    return Path(os.environ.get("REPRO_CACHE_DIR", "results/.cache"))
-
-
-def job_cache_key(job: SimJob) -> str:
-    """Stable key capturing everything that determines a job's window."""
-    payload = json.dumps({
-        "code": _code_version(),
-        "config": job.config.cache_key(),
-        # The scheme name is already inside config.cache_key(); naming it
-        # here keeps scheme collisions impossible even if a future
-        # SimConfig refactor drops it from to_dict().
-        "scheme": job.config.scheme,
-        "in_order": job.in_order,
-        "benchmark": job.benchmark,
-        "instructions": job.instructions,
-        "seed": job.seed,
-        "warmup": job.warmup,
-        "measure": job.measure,
-    }, sort_keys=True)
-    return hashlib.sha256(payload.encode("utf-8")).hexdigest()
-
-
-@dataclass
-class CacheStats:
-    """Hit/miss accounting for one engine run."""
-
-    hits: int = 0
-    misses: int = 0
-    stores: int = 0
-    errors: int = 0
-
-    @property
-    def lookups(self) -> int:
-        return self.hits + self.misses
-
-    def describe(self) -> str:
-        return "%d hits, %d misses, %d stored" % (
-            self.hits, self.misses, self.stores,
-        )
-
-
-class ResultCache:
-    """JSON result store keyed by :func:`job_cache_key`."""
-
-    def __init__(self, root: Optional[Path] = None) -> None:
-        self.root = Path(root) if root is not None else default_cache_dir()
-        self.stats = CacheStats()
-
-    def _path(self, key: str) -> Path:
-        return self.root / key[:2] / (key + ".json")
-
-    def has(self, job: SimJob) -> bool:
-        """Whether *job*'s window is on disk, without reading it.
-
-        A pure existence probe: no hit/miss accounting, no JSON parse.
-        The job server's submission path uses this to decide whether a
-        sweep can short-circuit the queue entirely; a corrupt entry
-        found later still degrades to re-simulation inside ``load``.
-        """
-        return self._path(job_cache_key(job)).is_file()
-
-    def load(self, job: SimJob) -> Optional[PipelineStats]:
-        """Return the cached window for *job*, or None on a miss.
-
-        Unreadable or corrupt entries count as misses (and are removed),
-        so a damaged cache degrades to re-simulation, never to an error.
-        """
-        path = self._path(job_cache_key(job))
-        try:
-            payload = json.loads(path.read_text())
-            window = PipelineStats.from_dict(payload["window"])
-        except FileNotFoundError:
-            self.stats.misses += 1
-            return None
-        except (OSError, ValueError, KeyError, TypeError):
-            self.stats.misses += 1
-            self.stats.errors += 1
-            try:
-                path.unlink()
-            except OSError:
-                pass
-            return None
-        self.stats.hits += 1
-        return window
-
-    def store(self, job: SimJob, window: PipelineStats) -> None:
-        """Persist one window (atomic write; failures are non-fatal)."""
-        key = job_cache_key(job)
-        path = self._path(key)
-        payload = {
-            "key": key,
-            "benchmark": job.benchmark,
-            "label": job.label,
-            "sample_index": job.sample_index,
-            "seed": job.seed,
-            "code": _code_version(),
-            "window": window.to_dict(),
-        }
-        try:
-            path.parent.mkdir(parents=True, exist_ok=True)
-            tmp = path.with_suffix(".tmp.%d" % os.getpid())
-            tmp.write_text(json.dumps(payload, sort_keys=True))
-            os.replace(tmp, path)
-            self.stats.stores += 1
-        except OSError:
-            self.stats.errors += 1
-
-    def clear(self) -> int:
-        """Delete every cache entry; returns the number removed."""
-        removed = 0
-        if not self.root.exists():
-            return removed
-        for path in sorted(self.root.rglob("*.json")):
-            try:
-                path.unlink()
-                removed += 1
-            except OSError:
-                pass
-        for shard in sorted(self.root.iterdir()):
-            if shard.is_dir():
-                try:
-                    shard.rmdir()
-                except OSError:
-                    pass
-        return removed
-
-    def size(self) -> int:
-        """Number of entries currently on disk."""
-        if not self.root.exists():
-            return 0
-        return sum(1 for _ in self.root.rglob("*.json"))
+__all__ = [
+    "CACHE_SCHEMA",
+    "CacheStats",
+    "RemoteArtifactStore",
+    "ResultCache",
+    "ResultStore",
+    "ShardedDiskStore",
+    "TieredStore",
+    "default_cache_dir",
+    "job_cache_key",
+    "open_store",
+]

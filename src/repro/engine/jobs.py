@@ -109,6 +109,9 @@ class JobResult:
     elapsed: float = 0.0
     from_cache: bool = False
     retried: bool = False
+    #: Replayed out of a checkpoint manifest (--resume) — like a cache
+    #: hit, the window was not recomputed by this run.
+    resumed: bool = False
     # Execution span on time.perf_counter()'s clock — CLOCK_MONOTONIC on
     # Linux, so comparable across forked workers.  Zero for cache hits.
     t_start: float = 0.0

@@ -1,34 +1,50 @@
-"""Job scheduler: fan a sweep's jobs out over a process pool.
+"""Job driver: cache, checkpoint, and account; backends place the work.
 
-The scheduler owns no simulation logic — it takes the independent
-:class:`~repro.engine.jobs.SimJob` list produced by ``expand_jobs`` and
-decides *where* each job runs:
+``run_jobs`` owns everything about a sweep that does *not* depend on
+where jobs execute:
 
-* cache first — jobs whose window is already on disk never execute;
-* then a ``ProcessPoolExecutor`` (``jobs`` workers, default
-  ``os.cpu_count()``) when more than one worker is requested and the
-  platform supports ``fork``;
-* a deterministic in-process serial path for ``jobs=1``, for platforms
-  without ``fork``, and as the degrade target when the pool breaks.
+* **resume** (phase 0) — completed results replayed out of a checkpoint
+  manifest (``resume=``) never execute again;
+* **cache** (phase 1) — jobs whose window the result store already holds
+  are served from it;
+* **placement** (phase 2) — the remainder goes to one
+  :class:`~repro.engine.backends.ExecutionBackend` (``backend=`` by name
+  or instance; default: ``local-pool`` when more than one worker
+  resolves, else ``serial``);
+* **accounting** — results return in submission order regardless of
+  completion order, failures are collected rather than raised, stats
+  cover cache/resume/retry/lease behavior;
+* **checkpointing** — with ``checkpoint=<path>`` the driver rewrites a
+  resumable manifest every ``checkpoint_interval`` completions (and at
+  the end), so a SIGTERM'd campaign restarts from where it died.
 
-A job that dies in a worker is retried once serially in the parent
-(worker crashes and pool transport errors must not kill a sweep); a job
-that also fails serially is reported as a :class:`JobFailure` rather
-than raised, so the caller decides whether partial results are usable.
-Results are returned in submission order regardless of completion order.
+The driver's completion callbacks are serialized behind one lock and
+drop duplicate completions (a worker whose lease expired may still
+report), so backends are free to call them from handler threads.  The
+historical failure contract is unchanged: a job that dies on a worker is
+retried once serially in the driver; a job that also fails serially
+becomes a :class:`JobFailure`.
 """
 
 from __future__ import annotations
 
 import multiprocessing
 import os
+import threading
 import time
-from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
+from concurrent.futures import ProcessPoolExecutor
 from dataclasses import dataclass, field
-from typing import Callable, Dict, List, Optional, Sequence, Tuple
+from typing import Callable, Dict, List, Optional, Sequence, Tuple, Union
 
-from repro.engine.cache import ResultCache
+from repro.engine.backends import (
+    BackendContext,
+    ExecutionBackend,
+    LocalPoolBackend,
+    SerialBackend,
+    make_backend,
+)
 from repro.engine.jobs import JobResult, SimJob, execute_job
+from repro.engine.store import ResultStore
 
 #: progress callback: (jobs finished so far, total jobs, latest result).
 ProgressFn = Callable[[int, int, JobResult], None]
@@ -64,6 +80,13 @@ class EngineStats:
     # only when run_jobs(collect_trace=True); feeds the Perfetto export
     # (repro.obs.perfetto.engine_trace_events).
     job_trace: List[dict] = field(default_factory=list)
+    #: Which execution backend placed the work (stats label).
+    backend: str = "serial"
+    #: Results replayed from a checkpoint manifest (--resume).
+    resumed: int = 0
+    #: Worker-protocol lease grants / re-queues (0 on other backends).
+    leases: int = 0
+    lease_requeues: int = 0
 
     def describe(self) -> str:
         parts = [
@@ -73,8 +96,14 @@ class EngineStats:
             "%d workers" % self.workers,
             "%.2fs wall" % self.wall_seconds,
         ]
+        if self.backend != "local-pool" and self.workers > 1:
+            parts.insert(4, "via %s" % self.backend)
+        if self.resumed:
+            parts.append("%d resumed" % self.resumed)
         if self.retries:
             parts.append("%d retried" % self.retries)
+        if self.lease_requeues:
+            parts.append("%d leases requeued" % self.lease_requeues)
         if self.failures:
             parts.append("%d FAILED" % self.failures)
         if self.degraded:
@@ -98,16 +127,24 @@ def run_jobs(
     jobs_list: Sequence[SimJob],
     *,
     jobs: Optional[int] = None,
-    cache: Optional[ResultCache] = None,
+    cache: Optional[ResultStore] = None,
     progress: Optional[ProgressFn] = None,
     executor_factory: Optional[Callable[..., ProcessPoolExecutor]] = None,
     collect_trace: bool = False,
+    backend: Optional[Union[str, ExecutionBackend]] = None,
+    backend_options: Optional[dict] = None,
+    checkpoint: Optional[str] = None,
+    checkpoint_interval: int = 25,
+    checkpoint_label: str = "engine",
+    resume: Optional[Union[str, dict]] = None,
 ) -> Tuple[List[JobResult], List[JobFailure], EngineStats]:
     """Execute every job; returns (results, failures, stats).
 
     ``results`` preserves the order of ``jobs_list`` (failed jobs are
     omitted and listed in ``failures`` instead).  ``collect_trace``
-    records a per-job span table into ``stats.job_trace``.
+    records a per-job span table into ``stats.job_trace``.  ``backend``
+    selects placement (see :mod:`repro.engine.backends`); ``checkpoint``
+    keeps a resumable manifest at that path, and ``resume`` replays one.
     """
     start_wall = time.perf_counter()
     stats = EngineStats(jobs=len(jobs_list))
@@ -115,42 +152,116 @@ def run_jobs(
     failures: List[JobFailure] = []
     done_count = 0
     submit_times: Dict[int, float] = {}
+    lock = threading.RLock()
+    accounted: set = set()
+
+    # Job keys are only needed by the checkpoint layer; hashing every
+    # job is wasted work for plain runs.
+    keys: Optional[List[str]] = None
+    if checkpoint is not None or resume is not None:
+        from repro.engine import checkpoint as ckpt
+
+        keys = [ckpt.job_key(job) for job in jobs_list]
+    since_checkpoint = 0
+
+    def maybe_checkpoint(force: bool = False) -> None:
+        # Caller holds `lock`.
+        nonlocal since_checkpoint
+        if checkpoint is None:
+            return
+        since_checkpoint += 1
+        if not force and since_checkpoint < max(1, checkpoint_interval):
+            return
+        since_checkpoint = 0
+        manifest = ckpt.build_checkpoint(
+            jobs_list, keys, slots,
+            label=checkpoint_label, backend=stats.backend,
+            failures=failures,
+        )
+        try:
+            ckpt.write_checkpoint(checkpoint, manifest)
+        except OSError:
+            pass  # checkpointing must never kill the run it protects
 
     def finish(index: int, result: JobResult) -> None:
         nonlocal done_count
-        slots[index] = result
-        done_count += 1
-        stats.sim_seconds += result.elapsed
-        stats.job_seconds[result.job.coordinates] = result.elapsed
-        if collect_trace:
-            now = time.perf_counter()
-            submit = submit_times.get(index, start_wall)
-            stats.job_trace.append({
-                "name": result.job.describe(),
-                "submit": submit,
-                "start": result.t_start or submit,
-                "end": result.t_end or now,
-                "from_cache": result.from_cache,
-                "retried": result.retried,
-            })
-        if not result.from_cache:
-            stats.executed += 1
-            if cache is not None:
-                cache.store(result.job, result.window)
-        if progress is not None:
-            progress(done_count, len(jobs_list), result)
+        with lock:
+            if index in accounted:
+                return  # duplicate completion (e.g. expired lease): drop
+            accounted.add(index)
+            slots[index] = result
+            done_count += 1
+            stats.sim_seconds += result.elapsed
+            stats.job_seconds[result.job.coordinates] = result.elapsed
+            if collect_trace:
+                now = time.perf_counter()
+                submit = submit_times.get(index, start_wall)
+                stats.job_trace.append({
+                    "name": result.job.describe(),
+                    "submit": submit,
+                    "start": result.t_start or submit,
+                    "end": result.t_end or now,
+                    "from_cache": result.from_cache,
+                    "retried": result.retried,
+                })
+            if result.resumed:
+                stats.resumed += 1
+            elif not result.from_cache:
+                stats.executed += 1
+                if cache is not None:
+                    cache.store(result.job, result.window)
+            maybe_checkpoint()
+            if progress is not None:
+                progress(done_count, len(jobs_list), result)
 
     def fail(job: SimJob, index: int, error: BaseException) -> None:
         nonlocal done_count
-        done_count += 1
-        failures.append(JobFailure(job=job, error=repr(error)))
-        stats.failures += 1
-        if progress is not None:
-            progress(done_count, len(jobs_list), None)
+        with lock:
+            if index in accounted:
+                return
+            accounted.add(index)
+            done_count += 1
+            failures.append(JobFailure(job=job, error=repr(error)))
+            stats.failures += 1
+            maybe_checkpoint()
+            if progress is not None:
+                progress(done_count, len(jobs_list), None)
 
-    # Phase 1: serve whatever the cache already has.
+    def mark_submitted(index: int) -> None:
+        with lock:
+            submit_times[index] = time.perf_counter()
+
+    def run_serially(index: int, job: SimJob, retried: bool) -> None:
+        if retried:
+            with lock:
+                stats.retries += 1
+        mark_submitted(index)
+        try:
+            result = execute_job(job)
+        except BaseException as error:  # deterministic job failure
+            fail(job, index, error)
+            return
+        result.retried = retried
+        finish(index, result)
+
+    # Phase 0: replay completed results out of a checkpoint manifest.
+    todo: List[Tuple[int, SimJob]] = list(enumerate(jobs_list))
+    if resume is not None:
+        completed = ckpt.load_checkpoint(resume)
+        still_todo = []
+        for index, job in todo:
+            entry = completed.get(keys[index])
+            replay = ckpt.decode_result(job, entry) \
+                if entry is not None else None
+            if replay is not None:
+                finish(index, replay)
+            else:
+                still_todo.append((index, job))
+        todo = still_todo
+
+    # Phase 1: serve whatever the result store already has.
     pending: List[Tuple[int, SimJob]] = []
-    for index, job in enumerate(jobs_list):
+    for index, job in todo:
         window = cache.load(job) if cache is not None else None
         if window is not None:
             finish(index, JobResult(job=job, window=window, from_cache=True))
@@ -160,60 +271,36 @@ def run_jobs(
         stats.cache_hits = cache.stats.hits
         stats.cache_misses = cache.stats.misses
 
-    # Phase 2: execute the misses, in parallel when asked to.
+    # Phase 2: hand the misses to an execution backend.
     workers = resolve_workers(jobs, len(pending))
-    stats.workers = workers
-
-    def run_serially(index: int, job: SimJob, retried: bool) -> None:
-        if retried:
-            stats.retries += 1
-        submit_times[index] = time.perf_counter()
-        try:
-            result = execute_job(job)
-        except BaseException as error:  # deterministic job failure
-            fail(job, index, error)
-            return
-        result.retried = retried
-        finish(index, result)
-
-    if workers > 1 and pending:
-        factory = executor_factory or ProcessPoolExecutor
-        remaining = list(pending)
-        try:
-            context = multiprocessing.get_context("fork")
-            with factory(max_workers=workers, mp_context=context) as pool:
-                future_to_job = {}
-                for index, job in pending:
-                    submit_times[index] = time.perf_counter()
-                    future_to_job[pool.submit(execute_job, job)] = (
-                        index, job
-                    )
-                not_done = set(future_to_job)
-                while not_done:
-                    finished, not_done = wait(
-                        not_done, return_when=FIRST_COMPLETED
-                    )
-                    for future in finished:
-                        index, job = future_to_job[future]
-                        remaining.remove((index, job))
-                        error = future.exception()
-                        if error is not None:
-                            # Worker died or the job raised: one serial
-                            # retry in the parent, then give up on it.
-                            run_serially(index, job, retried=True)
-                        else:
-                            finish(index, future.result())
-        except BaseException:
-            # The pool itself broke (fork refused, transport error,
-            # keyboard interrupt inside shutdown...): degrade to serial
-            # for everything still unaccounted for.
-            stats.degraded = True
-            for index, job in list(remaining):
-                run_serially(index, job, retried=True)
+    if backend is None:
+        backend_obj: ExecutionBackend = (
+            LocalPoolBackend() if workers > 1 else SerialBackend()
+        )
+    elif isinstance(backend, str):
+        backend_obj = make_backend(backend, **(backend_options or {}))
     else:
-        for index, job in pending:
-            run_serially(index, job, retried=False)
+        backend_obj = backend
+    if isinstance(backend_obj, SerialBackend):
+        workers = 1
+    stats.workers = workers
+    stats.backend = backend_obj.name
 
+    if pending:
+        context = BackendContext(
+            stats=stats,
+            finish=finish,
+            fail=fail,
+            run_serially=run_serially,
+            mark_submitted=mark_submitted,
+            workers=workers,
+            requested_jobs=jobs,
+            executor_factory=executor_factory,
+        )
+        backend_obj.run(pending, context)
+
+    with lock:
+        maybe_checkpoint(force=True)
     if cache is not None:
         stats.stores = cache.stats.stores
     stats.wall_seconds = time.perf_counter() - start_wall

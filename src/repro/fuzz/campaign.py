@@ -86,6 +86,32 @@ class FuzzRunResult:
     def witness_channels(self) -> Tuple[str, ...]:
         return tuple(sorted({w.channel for w in self.witnesses}))
 
+    def to_dict(self) -> dict:
+        """JSON form (checkpoint manifests round-trip through this)."""
+        return {
+            "seed": self.seed,
+            "config_name": self.config_name,
+            "template": self.template,
+            "channel": self.channel,
+            "analog": self.analog,
+            "witnesses": [w.to_dict() for w in self.witnesses],
+            "cycles": self.cycles,
+        }
+
+    @classmethod
+    def from_dict(cls, payload: dict) -> "FuzzRunResult":
+        return cls(
+            seed=int(payload["seed"]),
+            config_name=payload["config_name"],
+            template=payload["template"],
+            channel=payload["channel"],
+            analog=payload["analog"],
+            witnesses=tuple(
+                LeakWitness(**w) for w in payload["witnesses"]
+            ),
+            cycles=int(payload["cycles"]),
+        )
+
 
 @dataclass(frozen=True)
 class FuzzJob:
@@ -176,6 +202,9 @@ class CampaignResult:
     counterexamples: List[Counterexample] = field(default_factory=list)
     #: seeds whose simulation raised, with the failure reason
     failures: List[Tuple[str, str]] = field(default_factory=list)
+    #: scheduler accounting for the run (EngineStats; backend, resumed,
+    #: executed counts — preemption tests assert on these)
+    engine: object = None
 
     def baseline_channel_counts(self) -> Dict[str, int]:
         """Witness count per channel class under the unprotected core."""
@@ -240,12 +269,22 @@ def run_campaign(
     jobs: Optional[int] = None,
     progress=None,
     max_cycles: int = 400_000,
+    backend=None,
+    backend_options: Optional[dict] = None,
+    checkpoint: Optional[str] = None,
+    checkpoint_interval: int = 25,
+    resume=None,
 ) -> CampaignResult:
     """Run the differential campaign: ``seeds x configs`` fuzz runs.
 
     Executes through the suite engine's parallel scheduler (fork-based
     workers, deterministic results, serial fallback on worker failure);
-    ``jobs`` has the same meaning as the engine's ``--jobs``.
+    ``jobs`` has the same meaning as the engine's ``--jobs`` and
+    ``backend``/``checkpoint``/``resume`` as ``run_jobs``'s.  With
+    ``checkpoint`` a preempted campaign leaves a resumable manifest
+    behind; rerunning the same seeds/configs with ``resume`` replays the
+    completed runs and executes only the remainder, converging on the
+    identical witness corpus (fuzz jobs are deterministic).
     """
     from repro.engine import run_jobs  # deferred: engine pulls in pools
 
@@ -265,11 +304,15 @@ def run_campaign(
         for seed in seeds
         for name in names
     ]
-    results, failures, _stats = run_jobs(
-        fuzz_jobs, jobs=jobs, cache=None, progress=progress
+    _register_checkpoint_codec()
+    results, failures, stats = run_jobs(
+        fuzz_jobs, jobs=jobs, cache=None, progress=progress,
+        backend=backend, backend_options=backend_options,
+        checkpoint=checkpoint, checkpoint_interval=checkpoint_interval,
+        checkpoint_label="fuzz", resume=resume,
     )
 
-    campaign = CampaignResult()
+    campaign = CampaignResult(engine=stats)
     for job_result in results:
         run: FuzzRunResult = job_result.window
         campaign.results.append(run)
@@ -287,3 +330,19 @@ def run_campaign(
             (failure.job.describe(), failure.error)
         )
     return campaign
+
+
+def _register_checkpoint_codec() -> None:
+    """Teach checkpoint manifests to round-trip FuzzRunResult payloads.
+
+    Deferred to campaign start (rather than module import) so loading
+    this module for witness replay stays engine-free; any resume path
+    necessarily goes through :func:`run_campaign` first.
+    """
+    from repro.engine.checkpoint import register_result_codec
+
+    register_result_codec(
+        "FuzzRunResult",
+        lambda result: result.to_dict(),
+        FuzzRunResult.from_dict,
+    )

@@ -12,8 +12,8 @@ from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence, Tuple, Union
 
 from repro.config import ConfigSpec, config_registry
-from repro.engine.cache import ResultCache
 from repro.engine.jobs import expand_jobs
+from repro.engine.store import ResultStore, open_store
 from repro.engine.scheduler import EngineStats, ProgressFn, run_jobs
 from repro.errors import SimulationError
 from repro.stats.sampling import Sample, SampledRun
@@ -172,10 +172,16 @@ def run_suite(
     seed0: int = 0,
     verbose: bool = False,
     jobs: Optional[int] = None,
-    cache: Union[bool, ResultCache, None] = False,
+    cache: Union[bool, ResultStore, None] = False,
     cache_dir=None,
+    remote_cache: Optional[str] = None,
     progress: Optional[ProgressFn] = None,
     collect_trace: bool = False,
+    backend=None,
+    backend_options: Optional[dict] = None,
+    checkpoint: Optional[str] = None,
+    checkpoint_interval: int = 25,
+    resume=None,
 ) -> SuiteResult:
     """Run the full sweep and return every sampled run.
 
@@ -184,9 +190,15 @@ def run_suite(
 
     * ``jobs`` — worker processes (default ``os.cpu_count()``; ``jobs=1``
       runs serially in-process).  Results are identical either way.
-    * ``cache`` — ``True`` (or a :class:`ResultCache`) serves repeated
-      jobs from the on-disk cache under ``results/.cache/``; ``cache_dir``
-      overrides the location.
+    * ``cache`` — ``True`` (or any :class:`ResultStore`) serves repeated
+      jobs from the on-disk store under ``results/.cache/``; ``cache_dir``
+      overrides the location and ``remote_cache`` (a job-server URL)
+      tiers it with the server's shared ``/v1/artifacts`` store.
+    * ``backend`` — execution backend name or instance (see
+      :mod:`repro.engine.backends`); results are bit-identical across
+      backends.
+    * ``checkpoint``/``resume`` — keep / replay a resumable manifest of
+      completed jobs (preempted sweeps restart from where they died).
     * ``progress`` — per-job callback ``(done, total, job_result)``.
 
     Job/cache/timing accounting lands on ``result.engine``.
@@ -195,11 +207,13 @@ def run_suite(
         [ConfigSpec.coerce(spec) for spec in configs]
         if configs is not None else figure7_config_specs()
     )
-    result_cache: Optional[ResultCache]
-    if isinstance(cache, ResultCache):
+    result_cache: Optional[ResultStore]
+    if isinstance(cache, ResultStore):
         result_cache = cache
-    elif cache or cache_dir is not None:
-        result_cache = ResultCache(cache_dir)
+        if remote_cache:
+            result_cache = open_store(result_cache, remote=remote_cache)
+    elif cache or cache_dir is not None or remote_cache:
+        result_cache = open_store(cache_dir, remote=remote_cache)
     else:
         result_cache = None
 
@@ -209,6 +223,9 @@ def run_suite(
     job_results, failures, engine_stats = run_jobs(
         job_list, jobs=jobs, cache=result_cache, progress=progress,
         collect_trace=collect_trace,
+        backend=backend, backend_options=backend_options,
+        checkpoint=checkpoint, checkpoint_interval=checkpoint_interval,
+        checkpoint_label="suite", resume=resume,
     )
     if failures:
         raise SimulationError(

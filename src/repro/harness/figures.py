@@ -254,8 +254,18 @@ def figure9e(
     instructions: int = 12_000,
     jobs: Optional[int] = None,
     cache=False,
+    backend=None,
+    backend_options=None,
+    checkpoint=None,
+    resume=None,
 ) -> Dict[str, float]:
-    """Permissive-policy CPI (normalized to OoO) vs. extra wake-up delay."""
+    """Permissive-policy CPI (normalized to OoO) vs. extra wake-up delay.
+
+    ``backend``/``checkpoint``/``resume`` pass straight through to the
+    engine (see :func:`repro.harness.experiment.run_suite`), so the
+    delay sweep can scale out over socket workers and survive
+    preemption like any other campaign.
+    """
     specs = [ConfigSpec("OoO", baseline_ooo())]
     for delay in delays:
         config = with_nda_delay(nda_config(NDAPolicyName.PERMISSIVE), delay)
@@ -271,6 +281,10 @@ def figure9e(
         instructions=instructions,
         jobs=jobs,
         cache=cache,
+        backend=backend,
+        backend_options=backend_options,
+        checkpoint=checkpoint,
+        resume=resume,
     )
     return {
         label: suite.mean_normalized_cpi(label)

@@ -273,12 +273,22 @@ class MetricsRegistry:
             self.gauge(name, help_text).labels(**labels).set(value)
 
     def ingest_engine_stats(self, engine, **labels: str) -> None:
-        """Fold one engine run's :class:`EngineStats` in."""
+        """Fold one engine run's :class:`EngineStats` in.
+
+        Every series carries a ``backend`` label (read off the stats,
+        defaulting to ``local-pool`` for pre-backend EngineStats
+        objects) so ``/metrics`` distinguishes where work ran; the
+        lease counters only move under the worker-protocol backend.
+        """
+        labels.setdefault(
+            "backend", getattr(engine, "backend", "") or "local-pool"
+        )
         for name in ("jobs", "executed", "cache_hits", "cache_misses",
-                     "stores", "retries", "failures"):
+                     "stores", "retries", "failures", "resumed",
+                     "leases", "lease_requeues"):
             self.counter(
                 "engine_" + name, "suite engine accounting"
-            ).labels(**labels).inc(getattr(engine, name))
+            ).labels(**labels).inc(getattr(engine, name, 0))
         self.gauge("engine_workers", "worker processes used").labels(
             **labels
         ).set(engine.workers)

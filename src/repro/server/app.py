@@ -11,8 +11,15 @@ Endpoints (auth = Bearer token when a tokens file is configured)::
     GET  /v1/jobs/<id>           status + queue position          [auth]
     GET  /v1/jobs/<id>/result    the result envelope              [auth]
     GET  /v1/artifacts/<key>     content-addressed JSON artifact  [auth]
+    PUT  /v1/artifacts/<key>     upload an artifact under <key>   [auth]
     GET  /metrics                text exposition (open, for scrapers)
     GET  /healthz                liveness + queue counts (open)
+
+The artifact routes double as the engine's shared result-store tier
+(:class:`repro.engine.store.RemoteArtifactStore`): worker hosts PUT
+their computed windows under the engine's content-addressed job keys
+and every other host's read-through cache GETs them back, so one warm
+server cache serves the whole fleet.
 
 Submission is where the engine's content-addressed cache earns its keep:
 the job id *is* the content key, so a duplicate request returns the
@@ -30,7 +37,7 @@ import threading
 from pathlib import Path
 from typing import Optional, Tuple
 
-from repro.engine.cache import ResultCache
+from repro.engine.store import ResultCache, ResultStore
 from repro.envelope import error_envelope, make_envelope
 from repro.server.auth import ANONYMOUS, RateLimiter, TokenAuth
 from repro.server.jobspec import (
@@ -80,8 +87,8 @@ class ReproServer:
             retry_backoff=retry_backoff,
         )
         self.artifacts = ArtifactStore(self.queue_dir / "artifacts")
-        if isinstance(cache, ResultCache):
-            self.cache: Optional[ResultCache] = cache
+        if isinstance(cache, ResultStore):
+            self.cache: Optional[ResultStore] = cache
         elif cache:
             self.cache = ResultCache(cache_dir)
         else:
@@ -108,6 +115,8 @@ class ReproServer:
              "jobs.result", self._get_result, True),
             ("GET", re.compile(r"^/v1/artifacts/([0-9a-f]{64})$"),
              "artifacts.get", self._get_artifact, True),
+            ("PUT", re.compile(r"^/v1/artifacts/([0-9a-f]{64})$"),
+             "artifacts.put", self._put_artifact, True),
             ("GET", re.compile(r"^/metrics$"), "metrics",
              self._get_metrics, False),
             ("GET", re.compile(r"^/healthz$"), "healthz",
@@ -277,19 +286,17 @@ class ReproServer:
         writer.close()
 
     def _dispatch(self, method, path, headers, body):
+        # A path may be served under several methods (GET and PUT both
+        # match /v1/artifacts/<key>), so a method mismatch keeps looking
+        # and only 405s after every route had its chance.
+        matched_path = None
         for route_method, pattern, name, handler, needs_auth in self._routes:
             match = pattern.match(path)
             if not match:
                 continue
             if method != route_method:
-                return (
-                    405,
-                    error_envelope(
-                        "method_not_allowed",
-                        "%s does not accept %s" % (path, method),
-                    ),
-                    {}, name,
-                )
+                matched_path = name
+                continue
             principal = ANONYMOUS
             if needs_auth and self.auth is not None:
                 principal = self.auth.authenticate(
@@ -323,6 +330,15 @@ class ReproServer:
                 match, headers, body, principal
             )
             return status, payload, extra, name
+        if matched_path is not None:
+            return (
+                405,
+                error_envelope(
+                    "method_not_allowed",
+                    "%s does not accept %s" % (path, method),
+                ),
+                {}, matched_path,
+            )
         return (
             404,
             error_envelope("not_found", "no route for %s" % path),
@@ -437,6 +453,29 @@ class ReproServer:
             ), {}
         return 200, payload, {}
 
+    def _put_artifact(self, match, headers, body, principal):
+        """Remote result-store write-back: store a window under its key."""
+        try:
+            payload = json.loads(body.decode("utf-8")) if body else None
+        except (ValueError, UnicodeDecodeError):
+            payload = None
+        if not isinstance(payload, dict):
+            return 400, error_envelope(
+                "bad_request", "artifact body must be a JSON object"
+            ), {}
+        key = match.group(1)
+        if not self.artifacts.put(key, payload):
+            return 400, error_envelope(
+                "bad_request", "invalid artifact key %r" % key
+            ), {}
+        self.metrics.counter(
+            "server_artifact_puts_total",
+            "artifacts uploaded via PUT /v1/artifacts",
+        ).labels().inc()
+        return 201, make_envelope(
+            "artifact", key=key, link="/v1/artifacts/%s" % key,
+        ), {}
+
     def _get_metrics(self, match, headers, body, principal):
         from repro.obs.metrics import text_exposition
 
@@ -501,7 +540,7 @@ def serve(
         print("repro server listening on http://%s:%d" % server.address)
         print("queue dir: %s   cache: %s   auth: %s" % (
             server.queue_dir,
-            server.cache.root if server.cache else "disabled",
+            server.cache.describe() if server.cache else "disabled",
             "enabled" if server.auth else "disabled",
         ))
         try:

@@ -8,10 +8,11 @@ old one stopped (jobs that were mid-execution are requeued; their
 attempt count survives, so a crash loop still converges to ``failed``).
 
 Scheduling is priority-first (higher ``priority`` wins), FIFO within a
-priority.  A job that fails is retried with exponential backoff
-(``retry_backoff * 2**(attempt-1)`` seconds) until ``max_retries`` is
-exhausted, then parked in ``failed`` with the last error — the server
-never crash-loops on a poisoned job.
+priority.  A job that fails is retried with jittered exponential
+backoff (the shared :class:`repro.engine.retry.RetryPolicy` — base
+``retry_backoff``, doubling per attempt, deterministic per-job jitter)
+until ``max_retries`` is exhausted, then parked in ``failed`` with the
+last error — the server never crash-loops on a poisoned job.
 
 Submission is idempotent: the job id *is* the content key of the work
 (for sweeps, a digest over the engine's per-window content-addressed
@@ -35,6 +36,8 @@ import time
 from dataclasses import dataclass, field, fields
 from pathlib import Path
 from typing import Dict, List, Optional
+
+from repro.engine.retry import RetryPolicy
 
 #: Legal job states and the transitions the queue enforces.
 JOB_STATES = ("queued", "running", "done", "failed")
@@ -95,6 +98,9 @@ class DurableQueue:
         self.jobs_dir = self.root / "jobs"
         self.max_retries = max_retries
         self.retry_backoff = retry_backoff
+        self.retry_policy = RetryPolicy(
+            max_retries=max_retries, backoff=retry_backoff,
+        )
         self._lock = threading.Condition()
         self._records: Dict[str, JobRecord] = {}
         self._seq = 0
@@ -236,10 +242,12 @@ class DurableQueue:
         with self._lock:
             record = self._records[job_id]
             record.error = error
+            # Per-record max_retries can differ from the queue default;
+            # the delay curve comes from the shared engine policy.
             if record.attempts <= record.max_retries:
                 record.state = "queued"
-                record.not_before = time.time() + (
-                    self.retry_backoff * (2.0 ** (record.attempts - 1))
+                record.not_before = time.time() + self.retry_policy.delay(
+                    record.attempts, key=record.id,
                 )
             else:
                 record.state = "failed"
@@ -304,6 +312,26 @@ class ArtifactStore:
             tmp.write_text(text)
             os.replace(tmp, path)
         return key
+
+    def put(self, key: str, payload: dict) -> bool:
+        """Persist *payload* under a caller-chosen 64-hex *key*.
+
+        This is the write half of the shared result-store tier
+        (``PUT /v1/artifacts/<key>``): remote engine runs upload their
+        windows keyed by the engine's content-addressed job key, which
+        is *not* the payload's own hash — so unlike :meth:`store` the
+        key arrives from outside.  Idempotent; returns False on an
+        invalid key.
+        """
+        if len(key) != 64 or any(
+                ch not in "0123456789abcdef" for ch in key):
+            return False
+        path = self._path(key)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        tmp = path.with_suffix(".tmp.%d" % os.getpid())
+        tmp.write_text(json.dumps(payload, sort_keys=True))
+        os.replace(tmp, path)
+        return True
 
     def load(self, key: str) -> Optional[dict]:
         """The payload stored under *key*, or None."""

@@ -1,0 +1,207 @@
+"""Execution backends: registry, bit-identity, lease recovery, degrade.
+
+``tests/golden/backend_equivalence.json`` pins the serial backend's
+windows for a tiny sweep; every backend must reproduce them exactly —
+placement may never change results.
+
+Regenerating (only after an *intentional* timing change)::
+
+    PYTHONPATH=src python - <<'EOF'
+    import json
+    from repro.config import (ConfigSpec, NDAPolicyName, baseline_ooo,
+                              nda_config)
+    from repro.engine import expand_jobs, run_jobs
+    specs = [ConfigSpec("OoO", baseline_ooo()),
+             ConfigSpec("Strict", nda_config(NDAPolicyName.STRICT)),
+             ConfigSpec("In-Order", baseline_ooo(), in_order=True)]
+    jobs = expand_jobs(["exchange2"], specs, 2, 300, 800, 2500)
+    results, _, _ = run_jobs(jobs, backend="serial")
+    windows = {"%s/%s/%d" % r.job.coordinates: r.window.to_dict()
+               for r in results}
+    json.dump({"comment": "see tests/test_backends.py",
+               "params": {"benchmarks": ["exchange2"],
+                          "configs": ["OoO", "Strict", "In-Order"],
+                          "samples": 2, "warmup": 300, "measure": 800,
+                          "instructions": 2500},
+               "windows": windows},
+              open("tests/golden/backend_equivalence.json", "w"),
+              indent=1, sort_keys=True)
+    EOF
+"""
+
+import json
+import pathlib
+import socket
+import threading
+
+import pytest
+
+from repro.config import ConfigSpec, NDAPolicyName, baseline_ooo, nda_config
+from repro.engine import expand_jobs, run_jobs
+from repro.engine.backends import (
+    BACKENDS,
+    LocalPoolBackend,
+    SerialBackend,
+    WorkerProtocolBackend,
+    available_backends,
+    make_backend,
+)
+from repro.engine.backends.worker_protocol import (
+    _worker_loop,
+    parse_address,
+    recv_msg,
+    send_msg,
+)
+
+GOLDEN = pathlib.Path(__file__).parent / "golden" / \
+    "backend_equivalence.json"
+
+
+def tiny_specs():
+    return [
+        ConfigSpec("OoO", baseline_ooo()),
+        ConfigSpec("Strict", nda_config(NDAPolicyName.STRICT)),
+        ConfigSpec("In-Order", baseline_ooo(), in_order=True),
+    ]
+
+
+def tiny_jobs():
+    return expand_jobs(["exchange2"], tiny_specs(), 2, 300, 800, 2500)
+
+
+def windows_by_coords(results):
+    return {
+        "%s/%s/%d" % r.job.coordinates: r.window.to_dict()
+        for r in results
+    }
+
+
+class TestRegistry:
+    def test_all_three_backends_registered(self):
+        assert available_backends() == \
+            ["local-pool", "serial", "worker-protocol"]
+        assert BACKENDS["serial"] is SerialBackend
+        assert BACKENDS["local-pool"] is LocalPoolBackend
+        assert BACKENDS["worker-protocol"] is WorkerProtocolBackend
+
+    def test_unknown_backend_lists_available(self):
+        with pytest.raises(ValueError, match="worker-protocol"):
+            make_backend("slurm")
+
+    def test_options_reach_the_backend(self):
+        backend = make_backend(
+            "worker-protocol", port=12345, spawn=False, processes=3,
+        )
+        assert backend.port == 12345
+        assert not backend.spawn
+        assert backend.processes_requested == 3
+
+    def test_parse_address(self):
+        assert parse_address("10.0.0.5:9000") == ("10.0.0.5", 9000)
+        with pytest.raises(ValueError):
+            parse_address("no-port")
+
+
+class TestBitIdentity:
+    """Every backend reproduces the golden (serial) windows exactly."""
+
+    @pytest.fixture(scope="class")
+    def golden(self):
+        return json.loads(GOLDEN.read_text())["windows"]
+
+    def run_backend(self, backend, **kwargs):
+        results, failures, stats = run_jobs(
+            tiny_jobs(), backend=backend, **kwargs
+        )
+        assert not failures
+        assert len(results) == 6
+        return results, stats
+
+    def test_serial_matches_golden(self, golden):
+        results, stats = self.run_backend("serial")
+        assert stats.backend == "serial"
+        assert stats.workers == 1
+        assert windows_by_coords(results) == golden
+
+    def test_local_pool_matches_golden(self, golden):
+        results, stats = self.run_backend("local-pool", jobs=2)
+        assert stats.backend == "local-pool"
+        assert windows_by_coords(results) == golden
+
+    def test_worker_protocol_matches_golden(self, golden):
+        backend = WorkerProtocolBackend(
+            processes=2, lease_timeout=120.0, connect_timeout=60.0,
+        )
+        results, stats = self.run_backend(backend, jobs=2)
+        assert stats.backend == "worker-protocol"
+        assert not stats.degraded
+        assert stats.leases >= 6
+        assert windows_by_coords(results) == golden
+
+
+class TestWorkerProtocolRecovery:
+    def _drive(self, backend, jobs_list):
+        """run_jobs in a thread so the test can play worker."""
+        box = {}
+
+        def drive():
+            box["out"] = run_jobs(jobs_list, backend=backend, jobs=1)
+
+        thread = threading.Thread(target=drive, daemon=True)
+        thread.start()
+        deadline = 50  # ~5s at 0.1s polls
+        import time
+        while backend.address is None and deadline:
+            time.sleep(0.1)
+            deadline -= 1
+        assert backend.address is not None, "coordinator never bound"
+        return thread, box
+
+    def test_dead_worker_lease_is_requeued(self):
+        """A worker that takes a job and vanishes must not lose it."""
+        jobs_list = tiny_jobs()[:2]
+        backend = WorkerProtocolBackend(
+            spawn=False, connect_timeout=60.0, lease_timeout=60.0,
+            poll_interval=0.01,
+        )
+        thread, box = self._drive(backend, jobs_list)
+
+        # A preempted worker: lease one job, then drop the connection
+        # without replying.
+        conn = socket.create_connection(backend.address, timeout=5.0)
+        send_msg(conn, {"type": "hello", "pid": 0, "host": "test"})
+        send_msg(conn, {"type": "ready"})
+        msg = recv_msg(conn)
+        assert msg["type"] == "job"
+        conn.close()
+
+        # An honest worker drains the queue, requeued job included.
+        honest = threading.Thread(
+            target=_worker_loop, args=backend.address, daemon=True,
+        )
+        honest.start()
+        thread.join(timeout=60.0)
+        assert not thread.is_alive(), "sweep hung after worker death"
+
+        results, failures, stats = box["out"]
+        assert not failures
+        assert len(results) == len(jobs_list)
+        assert stats.lease_requeues >= 1
+        golden = json.loads(GOLDEN.read_text())["windows"]
+        for coords, window in windows_by_coords(results).items():
+            assert window == golden[coords]
+
+    def test_degrades_to_serial_when_nobody_connects(self):
+        jobs_list = tiny_jobs()[:2]
+        backend = WorkerProtocolBackend(
+            spawn=False, connect_timeout=0.2, poll_interval=0.01,
+        )
+        results, failures, stats = run_jobs(
+            jobs_list, backend=backend, jobs=1,
+        )
+        assert not failures
+        assert len(results) == len(jobs_list)
+        assert stats.degraded
+        golden = json.loads(GOLDEN.read_text())["windows"]
+        for coords, window in windows_by_coords(results).items():
+            assert window == golden[coords]

@@ -153,10 +153,28 @@ class TestIngestion:
         )
         registry = MetricsRegistry()
         registry.ingest_engine_stats(suite.engine, sweep="test")
-        assert registry.get("engine_jobs").labels(sweep="test").value == 1
-        assert registry.get("engine_workers").labels(sweep="test").value == 1
+        # Engine series carry the execution backend as a label.
+        labels = {"sweep": "test", "backend": suite.engine.backend}
+        assert registry.get("engine_jobs").labels(**labels).value == 1
+        assert registry.get("engine_workers").labels(**labels).value == 1
         registry.ingest_cache_stats(cache.stats, sweep="test")
         assert registry.get("cache_stores").labels(sweep="test").value == 1
+
+    def test_engine_ingest_labels_and_counts_backend_series(self):
+        from repro.engine.scheduler import EngineStats
+
+        stats = EngineStats(
+            jobs=4, executed=2, backend="worker-protocol", resumed=1,
+            leases=5, lease_requeues=2,
+        )
+        registry = MetricsRegistry()
+        registry.ingest_engine_stats(stats, sweep="scale")
+        labels = {"sweep": "scale", "backend": "worker-protocol"}
+        assert registry.get("engine_leases").labels(**labels).value == 5
+        assert registry.get("engine_lease_requeues").labels(
+            **labels
+        ).value == 2
+        assert registry.get("engine_resumed").labels(**labels).value == 1
 
     def test_ingest_twice_accumulates(self):
         outcome = self._outcome()
