@@ -54,7 +54,7 @@ scale-smoke:
 # fast-forward on vs off, plus telemetry-bus overhead; refreshes the
 # checked-in BENCH_simspeed.json.
 bench-simspeed:
-	$(PYTHON) benchmarks/bench_simspeed.py --obs \
+	$(PYTHON) benchmarks/bench_simspeed.py --obs --windows 8 --gate \
 		--output BENCH_simspeed.json
 
 # Full figure/table regeneration (writes under results/).

@@ -41,6 +41,7 @@ from __future__ import annotations
 from typing import Optional, Union
 
 from repro.config import SimConfig
+from repro.core import make_core
 from repro.core.inorder import InOrderCore
 from repro.core.ooo import OutOfOrderCore
 from repro.core.outcome import RunOutcome
@@ -91,7 +92,7 @@ def simulate(
             program, config
         )
     else:
-        core = OutOfOrderCore(
+        core = make_core(
             program, config, direction_predictor=direction_predictor,
             fast_forward=fast_forward,
         )

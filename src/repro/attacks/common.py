@@ -25,7 +25,7 @@ from typing import List, Optional
 
 from repro.config import SimConfig
 from repro.core.inorder import InOrderCore
-from repro.core.ooo import OutOfOrderCore
+from repro.core import make_core
 from repro.core.outcome import RunOutcome
 from repro.isa.assembler import Assembler
 from repro.isa.program import Program
@@ -195,7 +195,7 @@ def run_attack(
     """
     if in_order:
         return InOrderCore(program, config).run(max_cycles=max_cycles)
-    core = OutOfOrderCore(program, config, fast_forward=fast_forward)
+    core = make_core(program, config, fast_forward=fast_forward)
     return core.run(max_cycles=max_cycles)
 
 

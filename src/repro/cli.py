@@ -231,6 +231,25 @@ def _build_parser() -> argparse.ArgumentParser:
         help="also measure telemetry-bus overhead (detached vs "
              "attached-idle vs metrics sampling)",
     )
+    simspeed.add_argument(
+        "--windows", type=int, default=1, metavar="N",
+        help="also measure lockstep aggregate throughput over N "
+             "windows per (workload, config)",
+    )
+    simspeed.add_argument(
+        "--engines", nargs="*", default=None,
+        choices=["reference", "fast"], metavar="ENGINE",
+        help="engines to measure (default: both)",
+    )
+    simspeed.add_argument(
+        "--profile", action="store_true",
+        help="cProfile the slowest row into results/profiles/",
+    )
+    simspeed.add_argument(
+        "--gate", action="store_true",
+        help="hard-fail (exit 1) if the fast engine is under 2x the "
+             "reference on mcf/ooo (stepping path)",
+    )
 
     config_cmd = sub.add_parser(
         "config", help="describe one named configuration, or list them all"
@@ -320,6 +339,12 @@ def _build_parser() -> argparse.ArgumentParser:
     fuzz_run.add_argument(
         "--resume", default=None, metavar="FILE",
         help="replay completed seeds from a checkpoint manifest",
+    )
+    fuzz_run.add_argument(
+        "--windows", type=int, default=1, metavar="N",
+        help="batch N runs at a time through the in-process lockstep "
+             "runner (bit-identical; the fast path on one CPU; "
+             "mutually exclusive with --backend/--checkpoint/--resume)",
     )
 
     fuzz_replay = fuzz_sub.add_parser(
@@ -603,6 +628,10 @@ def main(argv: Optional[List[str]] = None) -> int:
             kwargs["seed"] = args.seed
         if args.obs:
             kwargs["obs"] = True
+        if args.windows > 1:
+            kwargs["windows"] = args.windows
+        if args.engines:
+            kwargs["engines"] = args.engines
         payload = simspeed_mod.run_simspeed(**kwargs)
         print()
         print(simspeed_mod.render_simspeed(payload))
@@ -611,10 +640,28 @@ def main(argv: Optional[List[str]] = None) -> int:
                 json_mod.dumps(payload, indent=2) + "\n"
             )
             print("\nwrote %s" % args.output)
+        if args.profile:
+            row = simspeed_mod._slowest_row(payload)
+            if row is not None:
+                path = simspeed_mod.profile_case(
+                    row["workload"], row["config"],
+                    "results/profiles/%s_%s_%s.pstats" % (
+                        row["workload"], row["config"], row["engine"],
+                    ),
+                    instructions=payload["instructions"],
+                    seed=payload["seed"], engine=row["engine"],
+                )
+                print("profiled slowest row to %s" % path)
         if args.baseline:
             baseline = json_mod.loads(Path(args.baseline).read_text())
             for line in simspeed_mod.compare_simspeed(payload, baseline):
                 print(line)
+        if args.gate:
+            failures = simspeed_mod.gate_simspeed(payload)
+            for line in failures:
+                print(line)
+            if failures:
+                return 1
         return 0
 
     if args.command == "bench":
@@ -634,7 +681,7 @@ def main(argv: Optional[List[str]] = None) -> int:
         return 0
 
     if args.command == "trace":
-        from repro.core.ooo import OutOfOrderCore
+        from repro.core import make_core
         from repro.debug import PipelineTracer
         from repro.workloads.kernels import ALL_KERNELS
         spec = config_registry()[args.config]
@@ -643,7 +690,7 @@ def main(argv: Optional[List[str]] = None) -> int:
             print("trace requires an out-of-order configuration")
             return 2
         program = ALL_KERNELS[args.kernel](args.instructions)
-        core = OutOfOrderCore(program, config)
+        core = make_core(program, config)
         tracer = PipelineTracer.attach(core, limit=args.instructions * 8)
         core.run()
         print(tracer.render(width=args.width))
@@ -760,14 +807,14 @@ def _obs(args) -> int:
 
     if args.obs_command == "trace":
         from repro.core.inorder import InOrderCore
-        from repro.core.ooo import OutOfOrderCore
+        from repro.core import make_core
         from repro.debug import PipelineTracer
 
         program = _obs_trace_program(args)
         spec = config_registry()[args.config]
         core = (
             InOrderCore(program, spec.config) if spec.in_order
-            else OutOfOrderCore(program, spec.config)
+            else make_core(program, spec.config)
         )
         bus = EventBus().attach(core)
         tracer = PipelineTracer(limit=args.limit)
@@ -897,6 +944,7 @@ def _fuzz(args) -> int:
             backend=args.backend,
             checkpoint=args.checkpoint,
             resume=args.resume,
+            windows=args.windows,
         )
         print(campaign.describe())
         from repro.obs import (

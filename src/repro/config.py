@@ -222,6 +222,13 @@ class SimConfig:
     # flaw).  The paper's baseline OoO has this flaw; NDA does not need it
     # fixed because load restriction makes it unexploitable.
     forward_faulting_loads: bool = True
+    # OoO execution engine: "fast" (the table-driven micro-op core, the
+    # default) or "reference" (the readable reference pipeline).  The two
+    # are pinned cycle- and counter-identical by the golden equivalence
+    # tests, so — like the fast_forward knob — the engine choice is
+    # deliberately EXCLUDED from to_dict()/cache_key(): both engines must
+    # share cached results.
+    engine: str = "fast"
 
     def __post_init__(self) -> None:
         scheme = self.scheme
@@ -256,6 +263,11 @@ class SimConfig:
                     type(self.scheme_params).__name__,
                 )
             )
+        if self.engine not in ("fast", "reference"):
+            raise ConfigError(
+                "unknown engine %r (expected 'fast' or 'reference')"
+                % (self.engine,)
+            )
         return self
 
     def label(self) -> str:
@@ -265,7 +277,11 @@ class SimConfig:
         return scheme_info(self.scheme).model.label_for(self.scheme_params)
 
     def to_dict(self) -> dict:
-        """Nested plain-dict form (enums become their string values)."""
+        """Nested plain-dict form (enums become their string values).
+
+        ``engine`` is omitted: both engines are bit-identical, so result
+        cache keys must not distinguish them (see the field comment).
+        """
 
         def convert(obj):
             if isinstance(obj, enum.Enum):
@@ -276,7 +292,9 @@ class SimConfig:
                 return [convert(item) for item in obj]
             return obj
 
-        return convert(asdict(self))
+        payload = asdict(self)
+        payload.pop("engine", None)
+        return convert(payload)
 
     def cache_key(self) -> str:
         """Stable content hash of the complete machine description.

@@ -1,5 +1,9 @@
-"""Processor cores: the out-of-order pipeline and the in-order baseline."""
+"""Processor cores: the out-of-order pipelines and the in-order baseline."""
 
+from typing import Optional
+
+from repro.config import SimConfig
+from repro.core.fastcore import FastFUPool, FastOoOCore
 from repro.core.fu import FUPool
 from repro.core.inorder import InOrderCore
 from repro.core.issue_queue import IssueQueue
@@ -9,7 +13,33 @@ from repro.core.outcome import RunOutcome
 from repro.core.rename import PhysRegFile, RenameTable
 from repro.core.rob import ROB, DynInstr
 
+
+def make_core(
+    program,
+    config: Optional[SimConfig] = None,
+    *,
+    direction_predictor: str = "tournament",
+    fast_forward: bool = True,
+) -> OutOfOrderCore:
+    """Construct the OoO core selected by ``config.engine``.
+
+    ``"fast"`` (the default) builds the table-driven
+    :class:`FastOoOCore`; ``"reference"`` builds the readable reference
+    :class:`OutOfOrderCore`.  Both are pinned bit-identical by the golden
+    equivalence tests, so callers may treat the choice as a pure
+    host-speed knob.
+    """
+    config = (config or SimConfig()).validate()
+    cls = OutOfOrderCore if config.engine == "reference" else FastOoOCore
+    return cls(
+        program, config, direction_predictor=direction_predictor,
+        fast_forward=fast_forward,
+    )
+
+
 __all__ = [
+    "FastFUPool",
+    "FastOoOCore",
     "FUPool",
     "InOrderCore",
     "IssueQueue",
@@ -22,4 +52,5 @@ __all__ = [
     "RenameTable",
     "ROB",
     "DynInstr",
+    "make_core",
 ]

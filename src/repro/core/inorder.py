@@ -81,6 +81,16 @@ class InOrderCore:
         """
         self.step()
 
+    def run_to_commit(self, target: int, max_cycles: int) -> None:
+        """Step until *target* committed instructions, HALT, or budget
+        (driver-loop parity with ``OutOfOrderCore.run_to_commit``)."""
+        while (
+            not self.halted
+            and self.cycle < max_cycles
+            and self.committed < target
+        ):
+            self.step()
+
     def arch_state(self) -> MachineState:
         return MachineState(
             regs=list(self.regs),

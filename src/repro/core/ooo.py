@@ -47,6 +47,7 @@ from repro.isa.semantics import MachineState, branch_taken, eval_alu
 from repro.memory.hierarchy import MemoryHierarchy
 from repro.memory.memory import MainMemory, U64_MASK
 from repro.frontend.ras import RAS
+from repro.schemes.base import ProtectionModel
 from repro.schemes.registry import make_protection
 from repro.stats.counters import CycleClass, PipelineStats
 
@@ -106,6 +107,14 @@ class OutOfOrderCore:
         # The one protection-scheme object; every scheme-sensitive
         # decision in the pipeline below delegates to it.
         self.protection = make_protection(self)
+        # Does the scheme refine the ready-pool fast-forward veto?  When
+        # it does (FenceOnBranch), the run/advance gates must probe even
+        # with a non-empty ready pool — the scheme may prove every ready
+        # entry fenced, unlocking the skip.
+        self._ready_horizon_overridden = (
+            type(self.protection).issue_ready_horizon
+            is not ProtectionModel.issue_ready_horizon
+        )
 
         self._next_seq = 0
         self._fetch_buffer: Deque[FetchedOp] = deque()
@@ -137,16 +146,44 @@ class OutOfOrderCore:
         deadlock_cycles: int = 100_000,
     ) -> RunOutcome:
         """Simulate until HALT (or the program runs out), then report."""
+        wall_start = time.perf_counter()
+        self.run_slice(None, max_cycles, deadlock_cycles)
+        return self.finish_run(time.perf_counter() - wall_start)
+
+    def run_slice(
+        self,
+        commit_target: Optional[int],
+        max_cycles: int,
+        deadlock_cycles: int = 100_000,
+    ) -> bool:
+        """The ``run()`` loop, stoppable at a committed-instruction count.
+
+        Runs until HALT, the cycle budget, or (when *commit_target* is
+        not None) ``self.committed >= commit_target`` — with the exact
+        deadlock semantics of ``run()``, so slicing a run at arbitrary
+        commit counts and resuming reproduces the unsliced run bit for
+        bit (the loop carries no state besides the machine itself).
+        Returns True once the run is over (halted or out of budget),
+        False when it merely paused at *commit_target*.  The lockstep
+        multi-window runner drives full runs through this.
+        """
         fast = self.fast_forward
         iq = self.iq
-        wall_start = time.perf_counter()
+        # Schemes that refine the ready-pool veto (FenceOnBranch) must be
+        # probed even while entries sit ready; see issue_ready_horizon.
+        probe_ready = self._ready_horizon_overridden
         while not self.halted and self.cycle < max_cycles:
+            if (
+                commit_target is not None
+                and self.committed >= commit_target
+            ):
+                return False
             # Inline gate: a non-empty ready pool means the machine is
             # busy this cycle, so skip the full quiescence probe — it
             # would veto anyway, and on issue-bound phases its cost per
             # cycle is the whole fast-forward overhead.  (_ready is read
             # fresh each iteration: select()/remove_squashed rebind it.)
-            if fast and not iq._ready:
+            if fast and (probe_ready or not iq._ready):
                 # Never skip past the cycle at which the deadlock check
                 # would fire, so a dead machine raises at the exact same
                 # cycle (with identical accounting) as the stepped loop.
@@ -165,10 +202,13 @@ class OutOfOrderCore:
             self.step()
             if self.cycle - self._last_commit_cycle > deadlock_cycles:
                 raise self._deadlock_error(deadlock_cycles)
+        return True
+
+    def finish_run(self, wall: float) -> RunOutcome:
+        """Final accounting once ``run_slice`` reported the run over."""
         self.stats.cycles = self.cycle
         self.stats.committed = self.committed
         self.protection.finalize_stats(self.stats)
-        wall = time.perf_counter() - wall_start
         self.stats.sim_wall_seconds = wall
         self.stats.kilo_cycles_per_sec = (
             self.cycle / wall / 1000.0 if wall > 0 else 0.0
@@ -193,13 +233,36 @@ class OutOfOrderCore:
         sampling windows): a jump commits nothing, so loops gated on
         ``self.committed`` see identical warmup/measure boundaries.
         """
-        if self.fast_forward and not self.iq._ready and self.cycle < limit:
+        if (
+            self.fast_forward
+            and (self._ready_horizon_overridden or not self.iq._ready)
+            and self.cycle < limit
+        ):
             target = self._next_interesting_cycle(limit)
             if target > self.cycle:
                 self._skip_to(target)
                 if self.cycle >= limit:
                     return
         self.step()
+
+    def run_to_commit(self, target: int, max_cycles: int) -> None:
+        """Advance until *target* committed instructions, HALT, or budget.
+
+        Exactly equivalent to ``while ...: self.advance(max_cycles)``
+        with the boundary test after every call — the driver behind
+        sampling windows (:func:`repro.stats.sampling.run_window`) and
+        the lockstep multi-window runner.  Stopping at an intermediate
+        commit count and resuming is transparent: the advance sequence
+        is a pure function of machine state, so
+        ``run_to_commit(a); run_to_commit(b)`` equals
+        ``run_to_commit(b)`` for any ``a <= b``.
+        """
+        while (
+            not self.halted
+            and self.cycle < max_cycles
+            and self.committed < target
+        ):
+            self.advance(max_cycles)
 
     # ================================================================== #
     # Idle-cycle fast-forward (the event-driven clock).
@@ -222,9 +285,18 @@ class OutOfOrderCore:
         # Issue: anything in the ready pool retries every cycle.  (Even a
         # vetoed-ready entry — FU busy, serializing op not at head — may
         # unblock mid-span without its unblocker being a *heap* event, so
-        # be conservative and never skip while the pool is non-empty.)
+        # be conservative and never skip while the pool is non-empty —
+        # unless the scheme's issue_ready_horizon proves every ready
+        # entry fenced until an already-tracked event.)
         if self.iq.has_ready:
-            return now
+            if not self._ready_horizon_overridden:
+                return now
+            event = self.protection.issue_ready_horizon(now)
+            if event is not None:
+                if event <= now:
+                    return now
+                if event < horizon:
+                    horizon = event
 
         # Writeback: the completion heap is the primary event source.
         completions = self._completions

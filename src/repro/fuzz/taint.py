@@ -394,9 +394,9 @@ def run_with_oracle(
     Returns ``(outcome, witnesses)``.  This is the one-call entry point
     the campaign runner, the corpus replay test, and the CLI all share.
     """
-    from repro.core.ooo import OutOfOrderCore
+    from repro.core import make_core
 
-    core = OutOfOrderCore(
+    core = make_core(
         program, config,
         direction_predictor=direction_predictor,
         fast_forward=fast_forward,

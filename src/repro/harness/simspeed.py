@@ -1,26 +1,44 @@
 """Simulator-speed benchmark (host wall-clock, not simulated cycles).
 
 Measures how fast the out-of-order core simulates — kilo-cycles of
-simulated time per second of host time — with the idle-cycle
-fast-forward on and off, per (workload, configuration) pair.  Every
-measurement double-checks bit-identity: an FF-on run whose simulated
-``cycles``/``committed`` differ from the FF-off run is a correctness
-bug, and the harness raises instead of reporting a bogus speedup.
+simulated time per second of host time — per (workload, configuration,
+engine) triple, with the idle-cycle fast-forward on and off.  Schema 2
+(the engine era) differs from schema 1 in three deliberate ways:
+
+* **Construction is excluded from the timer.**  Program generation,
+  cache/core construction and the fast engine's one-time micro-op
+  pre-decode happen before ``perf_counter`` starts; only ``core.run()``
+  is measured.  Schema 1 timed ``simulate()`` whole, so its numbers
+  under-report steady-state throughput (and penalized the fast engine
+  for its pre-decode pass, which real sweeps pay once per thousands of
+  windows).
+* **Every row names its ``engine`` and ``windows``.**  The same
+  (workload, config) is measured under both the reference core and the
+  table-driven fast core, and the payload carries explicit
+  fast-vs-reference speedup columns.  Multi-window rows (``windows >
+  1``) measure the lockstep runner's aggregate throughput.
+* **Bit-identity is enforced across engines, not just FF modes.**  A
+  fast-engine run whose ``cycles``/``committed`` differ from the
+  reference engine's is a correctness bug and the harness raises.
 
 ``run_simspeed`` returns a JSON-serializable payload;
 ``render_simspeed`` pretty-prints it; ``compare_simspeed`` diffs a
-fresh payload against a checked-in baseline for the CI perf-smoke job
-(warnings, never hard failures — CI runners are noisy).
+fresh payload against a checked-in baseline (warn-only — shared-runner
+clocks are noisy); ``gate_simspeed`` is the one hard check CI enforces:
+the fast engine must hold at least a 2x stepping-path advantage over
+the reference on mcf/ooo.  ``profile_case`` captures a cProfile pstats
+dump of one row for regression triage.
 """
 
 from __future__ import annotations
 
 import platform
 import time
-from typing import Dict, List, Sequence
+from dataclasses import replace
+from typing import Dict, List, Optional, Sequence
 
-from repro.api import simulate
 from repro.config import config_registry
+from repro.core import make_core
 from repro.workloads.generator import spec_program
 
 #: Default measurement matrix: one DRAM-latency-bound workload (mcf,
@@ -28,27 +46,61 @@ from repro.workloads.generator import spec_program
 #: one (exchange2), across the protection schemes whose timing differs.
 DEFAULT_WORKLOADS = ("mcf", "leela", "exchange2")
 DEFAULT_CONFIGS = ("ooo", "strict", "invisispec-spectre", "fence-on-branch")
+DEFAULT_ENGINES = ("reference", "fast")
 DEFAULT_INSTRUCTIONS = 3_000
 DEFAULT_REPEATS = 3
 DEFAULT_SEED = 7
 
+#: CI hard gate: minimum fast/reference stepping-path (no-FF) speedup
+#: on the gate case.  The no-FF ratio is the honest engine comparison —
+#: fast-forward skips work instead of doing it faster, and its benefit
+#: varies per scheme.
+GATE_WORKLOAD = "mcf"
+GATE_CONFIG = "ooo"
+GATE_MIN_RATIO = 2.0
+
 
 class SimSpeedError(RuntimeError):
-    """Raised when an FF-on run diverges from its FF-off reference."""
+    """Raised when two must-be-identical runs diverge."""
 
 
-def _time_run(program, config, fast_forward: bool, repeats: int):
-    """Best-of-*repeats* wall time; returns (seconds, outcome)."""
+def _build_core(program, config, engine: str, fast_forward: bool):
+    """One measured core, constructed OUTSIDE any timer."""
+    return make_core(
+        program, replace(config, engine=engine), fast_forward=fast_forward,
+    )
+
+
+def _time_run(program, config, engine: str, fast_forward: bool,
+              repeats: int):
+    """Best-of-*repeats* wall time of ``core.run()`` alone.
+
+    A fresh core is constructed per repeat (runs mutate machine state),
+    but construction — including the fast engine's micro-op pre-decode —
+    happens before the clock starts.  Returns ``(seconds, outcome)``.
+    """
     best = None
     outcome = None
     for _ in range(repeats):
+        core = _build_core(program, config, engine, fast_forward)
         start = time.perf_counter()
-        result = simulate(program, config, fast_forward=fast_forward)
+        result = core.run()
         elapsed = time.perf_counter() - start
         if best is None or elapsed < best:
             best = elapsed
             outcome = result
     return best, outcome
+
+
+def _check_identical(what: str, a, b) -> None:
+    if (a.stats.cycles != b.stats.cycles
+            or a.stats.committed != b.stats.committed):
+        raise SimSpeedError(
+            "%s diverged: cycles %d vs %d, committed %d vs %d" % (
+                what, a.stats.cycles, b.stats.cycles,
+                a.stats.committed, b.stats.committed,
+            )
+        )
 
 
 def measure_case(
@@ -57,8 +109,9 @@ def measure_case(
     instructions: int = DEFAULT_INSTRUCTIONS,
     repeats: int = DEFAULT_REPEATS,
     seed: int = DEFAULT_SEED,
+    engine: str = "fast",
 ) -> Dict[str, object]:
-    """Time one (workload, config) pair with fast-forward on and off."""
+    """Time one (workload, config, engine) triple, FF on and off."""
     spec = config_registry()[config_name]
     if spec.in_order:
         raise ValueError(
@@ -66,24 +119,20 @@ def measure_case(
             "benchmark measures the out-of-order core" % config_name
         )
     program = spec_program(workload, instructions=instructions, seed=seed)
-    wall_ff, fast = _time_run(program, spec.config, True, repeats)
-    wall_no, slow = _time_run(program, spec.config, False, repeats)
-    if (fast.stats.cycles != slow.stats.cycles
-            or fast.stats.committed != slow.stats.committed):
-        raise SimSpeedError(
-            "fast-forward diverged on %s/%s: cycles %d vs %d, "
-            "committed %d vs %d" % (
-                workload, config_name,
-                fast.stats.cycles, slow.stats.cycles,
-                fast.stats.committed, slow.stats.committed,
-            )
-        )
+    wall_ff, fast = _time_run(program, spec.config, engine, True, repeats)
+    wall_no, slow = _time_run(program, spec.config, engine, False, repeats)
+    _check_identical(
+        "fast-forward on %s/%s [%s]" % (workload, config_name, engine),
+        fast, slow,
+    )
     cycles = fast.stats.cycles
     committed = fast.stats.committed
     return {
         "workload": workload,
         "config": config_name,
         "label": spec.label,
+        "engine": engine,
+        "windows": 1,
         "cycles": cycles,
         "committed": committed,
         "wall_seconds": wall_ff,
@@ -92,6 +141,67 @@ def measure_case(
         "cycles_per_sec_no_ff": cycles / wall_no if wall_no > 0 else 0.0,
         "committed_per_sec": committed / wall_ff if wall_ff > 0 else 0.0,
         "speedup_vs_no_ff": wall_no / wall_ff if wall_ff > 0 else 0.0,
+    }
+
+
+def measure_multiwindow(
+    workload: str,
+    config_name: str,
+    windows: int,
+    instructions: int = DEFAULT_INSTRUCTIONS,
+    repeats: int = DEFAULT_REPEATS,
+    seed: int = DEFAULT_SEED,
+    engine: str = "fast",
+) -> Dict[str, object]:
+    """Aggregate throughput of *windows* lockstep runs (seeds seed..+N-1).
+
+    Each window is a full run of its own generated program; the row's
+    ``cycles_per_sec`` is total simulated cycles across all windows per
+    second of lockstep wall time.  Setup (program generation, core
+    construction, pre-decode) is reported separately, not timed.
+    """
+    from repro.harness.multiwindow import run_cores_lockstep
+
+    spec = config_registry()[config_name]
+    if spec.in_order:
+        raise ValueError(
+            "%r is an in-order configuration; the simulator-speed "
+            "benchmark measures the out-of-order core" % config_name
+        )
+    config = replace(spec.config, engine=engine)
+    programs = [
+        spec_program(workload, instructions=instructions, seed=seed + i)
+        for i in range(windows)
+    ]
+    best_wall = None
+    best_outcomes = None
+    setup_seconds = 0.0
+    for _ in range(repeats):
+        setup_start = time.perf_counter()
+        cores = [make_core(program, config) for program in programs]
+        setup_seconds += time.perf_counter() - setup_start
+        start = time.perf_counter()
+        outcomes = run_cores_lockstep(cores, max_cycles=5_000_000)
+        elapsed = time.perf_counter() - start
+        if best_wall is None or elapsed < best_wall:
+            best_wall = elapsed
+            best_outcomes = outcomes
+    cycles = sum(o.stats.cycles for o in best_outcomes)
+    committed = sum(o.stats.committed for o in best_outcomes)
+    return {
+        "workload": workload,
+        "config": config_name,
+        "label": spec.label,
+        "engine": engine,
+        "windows": windows,
+        "cycles": cycles,
+        "committed": committed,
+        "wall_seconds": best_wall,
+        "setup_seconds": setup_seconds / repeats,
+        "cycles_per_sec": cycles / best_wall if best_wall > 0 else 0.0,
+        "committed_per_sec": (
+            committed / best_wall if best_wall > 0 else 0.0
+        ),
     }
 
 
@@ -129,7 +239,8 @@ def measure_obs_overhead(
     (every per-event attribute still None), and a bus with a periodic
     metrics sampler.  All three must be bit-identical; the overhead
     contract (DESIGN.md §3.5) is ~0% for the first two and <10% with
-    sampling enabled.
+    sampling enabled.  Measured on the reference engine (the telemetry
+    bus's hook-elision contract is defined against it).
     """
     spec = config_registry()[config_name]
     if spec.in_order:
@@ -164,17 +275,12 @@ def measure_obs_overhead(
     wall_sampled = best["sampling"]
     base = outcomes["detached"]
     for variant in ("attached-idle", "sampling"):
-        outcome = outcomes[variant]
-        if (outcome.stats.cycles != base.stats.cycles
-                or outcome.stats.committed != base.stats.committed):
-            raise SimSpeedError(
-                "telemetry variant %r diverged on %s/%s: cycles %d vs "
-                "%d, committed %d vs %d" % (
-                    variant, workload, config_name,
-                    outcome.stats.cycles, base.stats.cycles,
-                    outcome.stats.committed, base.stats.committed,
-                )
-            )
+        _check_identical(
+            "telemetry variant %r on %s/%s" % (
+                variant, workload, config_name,
+            ),
+            outcomes[variant], base,
+        )
     return {
         "workload": workload,
         "config": config_name,
@@ -201,31 +307,92 @@ def run_simspeed(
     seed: int = DEFAULT_SEED,
     verbose: bool = False,
     obs: bool = False,
+    engines: Sequence[str] = DEFAULT_ENGINES,
+    windows: int = 1,
 ) -> Dict[str, object]:
-    """Measure the full matrix; returns the JSON payload."""
+    """Measure the full matrix; returns the JSON (schema 2) payload.
+
+    Each (workload, config) pair is measured under every engine in
+    *engines*; when both engines are present, cross-engine bit-identity
+    is asserted and ``speedup_fast_vs_reference`` /
+    ``speedup_fast_vs_reference_no_ff`` are attached to the fast rows.
+    ``windows > 1`` appends lockstep aggregate rows (fast engine) for
+    each pair.
+    """
     results: List[Dict[str, object]] = []
     for workload in workloads:
         for config_name in configs:
-            case = measure_case(
-                workload, config_name,
-                instructions=instructions, repeats=repeats, seed=seed,
-            )
-            results.append(case)
-            if verbose:
-                print(
-                    "  %-12s %-20s %8.0f kc/s  (%.2fx vs no-ff)" % (
-                        workload, config_name,
-                        case["cycles_per_sec"] / 1000.0,
-                        case["speedup_vs_no_ff"],
-                    )
+            by_engine: Dict[str, Dict[str, object]] = {}
+            for engine in engines:
+                case = measure_case(
+                    workload, config_name,
+                    instructions=instructions, repeats=repeats,
+                    seed=seed, engine=engine,
                 )
-    speedups = [case["speedup_vs_no_ff"] for case in results]
-    rates = [case["cycles_per_sec"] for case in results]
+                by_engine[engine] = case
+                results.append(case)
+            if "reference" in by_engine and "fast" in by_engine:
+                ref = by_engine["reference"]
+                fast = by_engine["fast"]
+                if (ref["cycles"] != fast["cycles"]
+                        or ref["committed"] != fast["committed"]):
+                    raise SimSpeedError(
+                        "engines diverged on %s/%s: cycles %d vs %d, "
+                        "committed %d vs %d" % (
+                            workload, config_name,
+                            ref["cycles"], fast["cycles"],
+                            ref["committed"], fast["committed"],
+                        )
+                    )
+                fast["speedup_fast_vs_reference"] = (
+                    fast["cycles_per_sec"] / ref["cycles_per_sec"]
+                    if ref["cycles_per_sec"] else 0.0
+                )
+                fast["speedup_fast_vs_reference_no_ff"] = (
+                    fast["cycles_per_sec_no_ff"]
+                    / ref["cycles_per_sec_no_ff"]
+                    if ref["cycles_per_sec_no_ff"] else 0.0
+                )
+            if windows > 1:
+                agg = measure_multiwindow(
+                    workload, config_name, windows,
+                    instructions=instructions, repeats=repeats,
+                    seed=seed, engine="fast",
+                )
+                single = by_engine.get("fast") or by_engine.get(
+                    "reference"
+                )
+                if single and single["cycles_per_sec"]:
+                    agg["speedup_vs_single_window"] = (
+                        agg["cycles_per_sec"] / single["cycles_per_sec"]
+                    )
+                results.append(agg)
+            if verbose:
+                for case in results[-len(by_engine) - (windows > 1):]:
+                    print(
+                        "  %-12s %-20s %-9s w=%-2d %8.0f kc/s" % (
+                            case["workload"], case["config"],
+                            case["engine"], case["windows"],
+                            case["cycles_per_sec"] / 1000.0,
+                        )
+                    )
+    single_rows = [c for c in results if c["windows"] == 1]
+    speedups = [
+        c["speedup_vs_no_ff"] for c in single_rows
+        if "speedup_vs_no_ff" in c
+    ]
+    rates = [c["cycles_per_sec"] for c in results]
+    engine_ratios = [
+        c["speedup_fast_vs_reference_no_ff"] for c in single_rows
+        if "speedup_fast_vs_reference_no_ff" in c
+    ]
     payload: Dict[str, object] = {
-        "schema": 1,
+        "schema": 2,
         "instructions": instructions,
         "repeats": repeats,
         "seed": seed,
+        "engines": list(engines),
+        "windows": windows,
         "python": platform.python_version(),
         "machine": platform.machine(),
         "results": results,
@@ -233,6 +400,12 @@ def run_simspeed(
             "min_speedup_vs_no_ff": min(speedups) if speedups else 0.0,
             "max_speedup_vs_no_ff": max(speedups) if speedups else 0.0,
             "best_cycles_per_sec": max(rates) if rates else 0.0,
+            "min_speedup_fast_vs_reference_no_ff": (
+                min(engine_ratios) if engine_ratios else 0.0
+            ),
+            "max_speedup_fast_vs_reference_no_ff": (
+                max(engine_ratios) if engine_ratios else 0.0
+            ),
         },
     }
     if obs:
@@ -255,8 +428,51 @@ def run_simspeed(
     return payload
 
 
+def profile_case(
+    workload: str,
+    config_name: str,
+    output_path: str,
+    instructions: int = DEFAULT_INSTRUCTIONS,
+    seed: int = DEFAULT_SEED,
+    engine: str = "fast",
+) -> str:
+    """cProfile one run of a row; dump pstats to *output_path*.
+
+    Construction stays outside the profiler, matching what the timer
+    measures.  Returns the path written.  Note cProfile's tracing
+    inflates wall time several-fold — the dump is for *relative*
+    hotspot triage, never for kc/s numbers.
+    """
+    import cProfile
+    import os
+
+    spec = config_registry()[config_name]
+    program = spec_program(workload, instructions=instructions, seed=seed)
+    core = _build_core(program, spec.config, engine, True)
+    profiler = cProfile.Profile()
+    profiler.enable()
+    core.run()
+    profiler.disable()
+    directory = os.path.dirname(output_path)
+    if directory:
+        os.makedirs(directory, exist_ok=True)
+    profiler.dump_stats(output_path)
+    return output_path
+
+
+def _slowest_row(payload: Dict[str, object]) -> Optional[Dict[str, object]]:
+    """The single-window row with the lowest kc/s (profiling target)."""
+    rows = [
+        c for c in payload.get("results", [])
+        if c.get("windows") == 1 and c.get("cycles_per_sec")
+    ]
+    if not rows:
+        return None
+    return min(rows, key=lambda c: c["cycles_per_sec"])
+
+
 def render_simspeed(payload: Dict[str, object]) -> str:
-    """ASCII table of one payload."""
+    """ASCII table of one payload (schema 2)."""
     lines = [
         "Simulator speed (%d instructions, best of %d, seed %d, "
         "Python %s)" % (
@@ -264,23 +480,28 @@ def render_simspeed(payload: Dict[str, object]) -> str:
             payload["seed"], payload["python"],
         ),
         "",
-        "%-12s %-20s %10s %10s %10s %8s" % (
-            "workload", "config", "sim-cycles", "kc/s (ff)",
-            "kc/s (off)", "speedup",
+        "%-12s %-20s %-9s %3s %10s %10s %10s %8s %8s" % (
+            "workload", "config", "engine", "win", "sim-cycles",
+            "kc/s (ff)", "kc/s (off)", "ff-spd", "vs-ref",
         ),
-        "-" * 76,
+        "-" * 100,
     ]
     for case in payload["results"]:
+        no_ff = case.get("cycles_per_sec_no_ff")
+        ratio = case.get("speedup_fast_vs_reference_no_ff")
         lines.append(
-            "%-12s %-20s %10d %10.0f %10.0f %7.2fx" % (
-                case["workload"], case["config"], case["cycles"],
+            "%-12s %-20s %-9s %3d %10d %10.0f %10s %8s %8s" % (
+                case["workload"], case["config"], case["engine"],
+                case["windows"], case["cycles"],
                 case["cycles_per_sec"] / 1000.0,
-                case["cycles_per_sec_no_ff"] / 1000.0,
-                case["speedup_vs_no_ff"],
+                "%.0f" % (no_ff / 1000.0) if no_ff else "-",
+                "%.2fx" % case["speedup_vs_no_ff"]
+                if "speedup_vs_no_ff" in case else "-",
+                "%.2fx" % ratio if ratio else "-",
             )
         )
     agg = payload["aggregate"]
-    lines.append("-" * 76)
+    lines.append("-" * 100)
     lines.append(
         "fast-forward speedup: min %.2fx, max %.2fx; best rate %.0f kc/s"
         % (
@@ -288,6 +509,14 @@ def render_simspeed(payload: Dict[str, object]) -> str:
             agg["best_cycles_per_sec"] / 1000.0,
         )
     )
+    if agg.get("min_speedup_fast_vs_reference_no_ff"):
+        lines.append(
+            "fast engine vs reference (stepping path, no FF): "
+            "min %.2fx, max %.2fx" % (
+                agg["min_speedup_fast_vs_reference_no_ff"],
+                agg["max_speedup_fast_vs_reference_no_ff"],
+            )
+        )
     obs = payload.get("obs")
     if obs:
         lines.append(
@@ -309,12 +538,21 @@ def compare_simspeed(
 ) -> List[str]:
     """Warnings for cases slower than *baseline* by more than *threshold*.
 
-    Compares ``cycles_per_sec`` per (workload, config).  Returns
-    human-readable warning strings — the CI job prints them and still
-    exits 0, because shared-runner wall clocks are far too noisy for a
-    hard perf gate.
+    Compares ``cycles_per_sec`` per (workload, config, engine, windows).
+    Returns human-readable warning strings — the CI job prints them and
+    still exits 0, because shared-runner wall clocks are far too noisy
+    for a hard perf gate (that is :func:`gate_simspeed`'s job, and it
+    compares two engines within ONE run, immune to host speed).
     """
     warnings: List[str] = []
+    if payload.get("schema") != baseline.get("schema"):
+        return [
+            "NOTE: baseline is schema %r, this run is schema %r -- "
+            "skipping the regression check (schema 2 times core.run() "
+            "only; schema 1 numbers include construction)" % (
+                baseline.get("schema"), payload.get("schema"),
+            )
+        ]
     for key in ("instructions", "seed"):
         if payload.get(key) != baseline.get(key):
             # kc/s scales with program size, so cross-parameter diffs
@@ -325,23 +563,73 @@ def compare_simspeed(
                 % (key, baseline.get(key), payload.get(key))
             ]
     reference = {
-        (case["workload"], case["config"]): case
+        (
+            case["workload"], case["config"],
+            case.get("engine", "reference"), case.get("windows", 1),
+        ): case
         for case in baseline.get("results", [])
     }
     for case in payload["results"]:
-        key = (case["workload"], case["config"])
+        key = (
+            case["workload"], case["config"],
+            case.get("engine", "reference"), case.get("windows", 1),
+        )
         base = reference.get(key)
         if base is None or not base["cycles_per_sec"]:
             continue
         ratio = case["cycles_per_sec"] / base["cycles_per_sec"]
         if ratio < 1.0 - threshold:
             warnings.append(
-                "WARNING: %s/%s simulates at %.0f kc/s, %.0f%% below the "
-                "baseline's %.0f kc/s" % (
-                    key[0], key[1],
+                "WARNING: %s/%s [%s, w=%d] simulates at %.0f kc/s, "
+                "%.0f%% below the baseline's %.0f kc/s" % (
+                    key[0], key[1], key[2], key[3],
                     case["cycles_per_sec"] / 1000.0,
                     (1.0 - ratio) * 100.0,
                     base["cycles_per_sec"] / 1000.0,
                 )
             )
     return warnings
+
+
+def gate_simspeed(
+    payload: Dict[str, object],
+    min_ratio: float = GATE_MIN_RATIO,
+    workload: str = GATE_WORKLOAD,
+    config: str = GATE_CONFIG,
+) -> List[str]:
+    """The CI hard gate: fast engine >= *min_ratio* x reference.
+
+    Checks ``speedup_fast_vs_reference_no_ff`` on the gate case — a
+    within-run ratio of two engines measured back-to-back on the same
+    host, so absolute runner speed cancels out.  Returns failure
+    strings (empty when the gate passes); the CI job exits non-zero on
+    any.
+    """
+    failures: List[str] = []
+    row = None
+    for case in payload.get("results", []):
+        if (case.get("workload") == workload
+                and case.get("config") == config
+                and case.get("engine") == "fast"
+                and case.get("windows") == 1):
+            row = case
+            break
+    if row is None:
+        return [
+            "GATE: no fast-engine row for %s/%s in the payload -- run "
+            "with both engines enabled" % (workload, config)
+        ]
+    ratio = row.get("speedup_fast_vs_reference_no_ff")
+    if not ratio:
+        return [
+            "GATE: %s/%s fast row has no reference counterpart -- run "
+            "with both engines enabled" % (workload, config)
+        ]
+    if ratio < min_ratio:
+        failures.append(
+            "GATE FAILURE: fast engine is %.2fx the reference on %s/%s "
+            "(stepping path, no FF); the floor is %.2fx" % (
+                ratio, workload, config, min_ratio,
+            )
+        )
+    return failures

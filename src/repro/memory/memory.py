@@ -83,16 +83,43 @@ class MainMemory:
     # ------------------------------------------------------------------ #
 
     def write_block(self, addr: int, payload: bytes) -> None:
-        for i, byte in enumerate(payload):
-            self.write_byte(addr + i, byte)
+        addr &= U64_MASK
+        offset = addr & PAGE_MASK
+        length = len(payload)
+        if offset + length <= PAGE_SIZE:  # common case: one page
+            self._page(addr)[offset:offset + length] = payload
+            return
+        view = memoryview(payload)
+        done = 0
+        while done < length:
+            page_offset = (addr + done) & PAGE_MASK
+            chunk = min(length - done, PAGE_SIZE - page_offset)
+            page = self._page(addr + done)
+            page[page_offset:page_offset + chunk] = view[done:done + chunk]
+            done += chunk
 
     def read_block(self, addr: int, length: int) -> bytes:
         return bytes(self.read_byte(addr + i) for i in range(length))
 
     def load_image(self, image: Dict[int, bytes]) -> None:
-        """Install a program's initial data image."""
+        """Install a program's initial data image.
+
+        Inlined single-page path: images are dominated by thousands of
+        small scattered blobs, so per-entry call overhead is the cost.
+        """
+        pages = self._pages
         for addr, payload in image.items():
-            self.write_block(addr, payload)
+            offset = addr & PAGE_MASK
+            length = len(payload)
+            if offset + length <= PAGE_SIZE:
+                page_id = addr >> PAGE_SHIFT
+                page = pages.get(page_id)
+                if page is None:
+                    page = bytearray(PAGE_SIZE)
+                    pages[page_id] = page
+                page[offset:offset + length] = payload
+            else:
+                self.write_block(addr, payload)
 
     def touched_pages(self) -> Iterable[Tuple[int, bytearray]]:
         """Yield (page_id, page) for every materialized page."""

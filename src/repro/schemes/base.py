@@ -168,6 +168,29 @@ class ProtectionModel:
         """May *entry* leave the issue queue this cycle?"""
         return True
 
+    def issue_ready_horizon(self, now: int) -> Optional[int]:
+        """May the issue stage act while the ready pool is non-empty?
+
+        Consulted by the idle-cycle fast-forward *only* when the issue
+        queue's ready pool is non-empty (an empty pool needs no scheme
+        opinion).  Same return contract as :meth:`next_event`: ``None``
+        means no ready entry can issue until some other tracked event
+        source fires first, so the clock may skip; any cycle ``<= now``
+        vetoes skipping.
+
+        The base implementation vetoes unconditionally — a ready entry
+        might issue any cycle as far as the base scheme knows.  A scheme
+        whose :meth:`may_issue` gate can stall *every* ready entry for
+        long spans (e.g. FenceOnBranch) should override this to return
+        ``None`` when all ready entries are currently vetoed, PROVIDED
+        each veto is released only by events the clock already tracks
+        (completions, memory responses, deferred broadcasts, its own
+        ``next_event``).  The override must depend only on machine state,
+        never on ``now`` itself: the fast-forward relies on a ``None``
+        answer staying ``None`` across the whole skipped span.
+        """
+        return now
+
     # ------------------------------------------------------------------ #
     # Load visibility (InvisiSpec-style schemes).
     # ------------------------------------------------------------------ #

@@ -76,6 +76,18 @@ class FenceOnBranchModel(ProtectionModel):
                     return False
         return True
 
+    def issue_ready_horizon(self, now):
+        # Both issue gates are released only by completions (an older
+        # branch resolving, an older entry completing) or by squashes —
+        # events the fast-forward clock already bounds via the
+        # completion/memory heaps.  So when every ready entry is fenced,
+        # the issue stage is provably idle until one of those fires and
+        # the clock may skip; one selectable entry vetoes the skip.
+        for entry in self.core.iq.ready_entries():
+            if not entry.squashed and self.may_issue(entry, now):
+                return now
+        return None
+
     def on_dispatch(self, entry: DynInstr) -> None:
         self.safety.on_dispatch(entry)
 

@@ -1,0 +1,171 @@
+"""Lockstep multi-window runner: bit-identity with serial execution.
+
+The whole value of :mod:`repro.harness.multiwindow` is that interleaving
+N independent simulations changes *nothing observable*: each window's
+advance sequence is a pure function of its own machine state, so
+``run_to_commit(a); run_to_commit(b)`` equals ``run_to_commit(b)`` for
+``a <= b``, and the quantum size is a pure host-speed knob.  These tests
+pin all of that, plus the engine/fuzz integrations built on it.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.config import config_registry
+from repro.core import make_core
+from repro.engine.jobs import (
+    SimJob,
+    derive_seed,
+    execute_job,
+    execute_window_batch,
+)
+from repro.harness.multiwindow import (
+    WindowTask,
+    run_cores_lockstep,
+    run_windows,
+)
+from repro.stats.sampling import run_window
+from repro.workloads.generator import spec_program
+
+
+def _counters(stats):
+    d = stats.to_dict()
+    d.pop("sim_wall_seconds", None)
+    d.pop("kilo_cycles_per_sec", None)
+    return d
+
+
+def _tasks(n=3, config_name="ooo", benchmark="mcf"):
+    spec = config_registry()[config_name]
+    return [
+        WindowTask(
+            benchmark=benchmark, instructions=1_200, seed=20 + i,
+            config=spec.config, warmup=300, measure=600,
+        )
+        for i in range(n)
+    ]
+
+
+class TestRunWindows:
+    def test_lockstep_equals_serial_run_window(self):
+        tasks = _tasks(3)
+        batch = run_windows(tasks)
+        assert len(batch.results) == len(tasks)
+        for task, result in zip(tasks, batch.results):
+            serial = run_window(
+                task.build_program(), task.config,
+                task.warmup, task.measure,
+            )
+            assert _counters(result.window) == _counters(serial)
+
+    def test_quantum_is_a_pure_host_knob(self):
+        small = run_windows(_tasks(2), quantum=64)
+        large = run_windows(_tasks(2), quantum=8_192)
+        for a, b in zip(small.results, large.results):
+            assert _counters(a.window) == _counters(b.window)
+            assert a.cycles == b.cycles
+            assert a.committed == b.committed
+
+    def test_mixed_schemes_do_not_interfere(self):
+        # Different-config windows in one batch: still serially exact.
+        tasks = _tasks(2, "ooo") + _tasks(2, "fence-on-branch")
+        batch = run_windows(tasks)
+        for task, result in zip(tasks, batch.results):
+            serial = run_window(
+                task.build_program(), task.config,
+                task.warmup, task.measure,
+            )
+            assert _counters(result.window) == _counters(serial)
+
+    def test_rejects_nonpositive_quantum(self):
+        with pytest.raises(ValueError):
+            run_windows(_tasks(1), quantum=0)
+
+    def test_accounting_separates_setup_from_stepping(self):
+        batch = run_windows(_tasks(2))
+        assert batch.setup_seconds > 0.0
+        assert batch.run_seconds > 0.0
+        assert batch.total_cycles == sum(r.cycles for r in batch.results)
+        assert batch.aggregate_kilo_cycles_per_sec > 0.0
+
+
+class TestRunCoresLockstep:
+    def test_equals_serial_full_runs(self):
+        spec = config_registry()["strict"]
+        programs = [
+            spec_program("mcf", instructions=900, seed=s)
+            for s in (5, 6, 7)
+        ]
+        lockstep = run_cores_lockstep(
+            [make_core(p, spec.config) for p in programs],
+            max_cycles=2_000_000,
+        )
+        for program, outcome in zip(programs, lockstep):
+            serial = make_core(program, spec.config).run()
+            assert _counters(outcome.stats) == _counters(serial.stats)
+            assert outcome.state.regs == serial.state.regs
+            assert outcome.state.memory.equal_contents(
+                serial.state.memory
+            )
+
+    def test_wall_time_is_per_core(self):
+        spec = config_registry()["ooo"]
+        cores = [
+            make_core(
+                spec_program("mcf", instructions=600, seed=s),
+                spec.config,
+            )
+            for s in (1, 2)
+        ]
+        outcomes = run_cores_lockstep(cores, max_cycles=2_000_000)
+        for outcome in outcomes:
+            assert outcome.stats.sim_wall_seconds > 0.0
+
+
+class TestEngineIntegration:
+    def test_window_batch_matches_execute_job(self):
+        spec = config_registry()["ooo"]
+        jobs = [
+            SimJob(
+                benchmark="mcf", label=spec.label, config=spec.config,
+                in_order=False, sample_index=i,
+                seed=derive_seed("mcf", spec.label, i, 0),
+                warmup=300, measure=600, instructions=1_200,
+            )
+            for i in range(3)
+        ]
+        batch = execute_window_batch(jobs)
+        assert [r.job for r in batch] == jobs
+        for job, result in zip(jobs, batch):
+            serial = execute_job(job)
+            assert _counters(result.window) == _counters(serial.window)
+
+
+class TestFuzzIntegration:
+    def test_campaign_windows_matches_engine_path(self):
+        from repro.fuzz.campaign import run_campaign
+
+        seeds = list(range(4))
+        names = ["ooo", "fence-on-branch"]
+        serial = run_campaign(seeds, config_names=names, jobs=1)
+        lockstep = run_campaign(seeds, config_names=names, windows=3)
+
+        def key(campaign):
+            return sorted(
+                (r.seed, r.config_name, r.cycles,
+                 tuple((w.channel, w.seq) for w in r.witnesses))
+                for r in campaign.results
+            )
+
+        assert key(serial) == key(lockstep)
+        assert serial.counterexamples == lockstep.counterexamples
+        assert lockstep.engine.backend == "lockstep"
+        assert lockstep.engine.executed == len(seeds) * len(names)
+
+    def test_campaign_windows_rejects_engine_only_knobs(self):
+        from repro.fuzz.campaign import run_campaign
+
+        with pytest.raises(ValueError):
+            run_campaign([0], config_names=["ooo"], windows=2,
+                         checkpoint="x.json")

@@ -80,8 +80,14 @@ class TestCompare:
         notes = compare_simspeed(obs_payload, baseline)
         assert len(notes) == 1 and "skipping" in notes[0]
 
+    def test_schema_mismatch_skips(self, obs_payload):
+        baseline = dict(obs_payload, schema=1)
+        notes = compare_simspeed(obs_payload, baseline)
+        assert len(notes) == 1 and "schema" in notes[0]
+
     def test_regression_warns(self, obs_payload):
         baseline = {
+            "schema": obs_payload["schema"],
             "instructions": obs_payload["instructions"],
             "seed": obs_payload["seed"],
             "results": [
