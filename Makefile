@@ -2,7 +2,7 @@ PYTHON ?= python
 export PYTHONPATH := src
 
 .PHONY: test attack-smoke bench-smoke fuzz-smoke obs-smoke server-smoke \
-	scale-smoke bench bench-simspeed cache-clear
+	scale-smoke smt-smoke bench bench-simspeed cache-clear
 
 test:
 	$(PYTHON) -m pytest -x -q
@@ -24,6 +24,15 @@ bench-smoke:
 # (mirrors CI; ~30s on 4 workers).
 fuzz-smoke:
 	$(PYTHON) -m repro.cli fuzz run --seeds 40 --jobs 4
+
+# Cross-context (repro.smt) smoke: the three co-resident attack pairs
+# on the insecure baseline, one NDA policy, InvisiSpec, and
+# FenceOnBranch; exits nonzero if any cell diverges from the taxonomy's
+# expected leak/block claim — including InvisiSpec's deliberate
+# cross-btb escape (mirrors CI).
+smt-smoke:
+	$(PYTHON) -m repro.cli matrix --cross --guesses 16 \
+		--configs ooo strict invisispec-spectre fence-on-branch
 
 # Telemetry smoke: trace a Spectre v1 run under NDA strict, validate
 # the run manifest it recorded, and render its metric snapshot

@@ -31,9 +31,11 @@ public surface; the old names survive only as deprecation shims on their
 defining modules (:mod:`repro.core.ooo`, :mod:`repro.core.inorder`).
 
 The differential fuzzer's entry points (``run_with_oracle``,
-``run_campaign``, ``run_seed``, ``TaintOracle``, ``LeakWitness``) and the
-telemetry layer's names are re-exported lazily — they resolve on first
-attribute access, so plain ``simulate`` users never pay the import.
+``run_campaign``, ``run_seed``, ``run_smt_seed``, ``TaintOracle``,
+``LeakWitness``), the two-context co-residency model
+(``SmtMachine``, ``run_pair`` from :mod:`repro.smt`) and the telemetry
+layer's names are re-exported lazily — they resolve on first attribute
+access, so plain ``simulate`` users never pay the import.
 """
 
 from __future__ import annotations
@@ -216,7 +218,14 @@ _FUZZ_EXPORTS = (
     "TaintOracle",
     "run_campaign",
     "run_seed",
+    "run_smt_seed",
     "run_with_oracle",
+)
+
+#: Co-residency names served lazily from :mod:`repro.smt`, same pattern.
+_SMT_EXPORTS = (
+    "SmtMachine",
+    "run_pair",
 )
 
 #: Telemetry names served lazily from :mod:`repro.obs`, same pattern.
@@ -228,6 +237,7 @@ _OBS_EXPORTS = (
     "ensure_bus",
     "metrics_from_campaign",
     "metrics_from_run",
+    "smt_trace_events",
     "write_manifest",
 )
 
@@ -245,6 +255,7 @@ __all__ = [
     "submit_suite",
     *_SERVER_EXPORTS,
     *_FUZZ_EXPORTS,
+    *_SMT_EXPORTS,
     *_OBS_EXPORTS,
 ]
 
@@ -254,6 +265,10 @@ def __getattr__(name: str):
         import repro.fuzz
 
         return getattr(repro.fuzz, name)
+    if name in _SMT_EXPORTS:
+        import repro.smt
+
+        return getattr(repro.smt, name)
     if name in _OBS_EXPORTS:
         import repro.obs
 

@@ -7,6 +7,9 @@ whether the secret was recoverable from the covert channel.
 """
 
 from repro.attacks import (
+    cross_btb,
+    cross_prime_probe,
+    cross_ras,
     gpr_steering,
     lazyfp,
     meltdown,
@@ -23,9 +26,13 @@ from repro.attacks.common import (
     default_guesses,
     read_timings,
     run_attack,
+    run_cross_attack,
 )
 
 __all__ = [
+    "cross_btb",
+    "cross_prime_probe",
+    "cross_ras",
     "gpr_steering",
     "lazyfp",
     "meltdown",
@@ -40,4 +47,5 @@ __all__ = [
     "default_guesses",
     "read_timings",
     "run_attack",
+    "run_cross_attack",
 ]

@@ -20,8 +20,8 @@ Channel layout notes:
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import List, Optional
+from dataclasses import dataclass, field, replace
+from typing import List, Optional, Sequence, Tuple
 
 from repro.config import SimConfig
 from repro.core.inorder import InOrderCore
@@ -29,7 +29,7 @@ from repro.core import make_core
 from repro.core.outcome import RunOutcome
 from repro.isa.assembler import Assembler
 from repro.isa.program import Program
-from repro.isa.registers import R0, R20, R21, R22, R23, R24, R26, R29
+from repro.isa.registers import R0, R20, R21, R22, R23, R24, R26, R27, R29
 
 # Shared memory map for attack programs (distinct from workload addresses).
 PROBE_BASE = 0x0200_0000
@@ -66,6 +66,24 @@ VICTIM_MAPS = {
     },
     "lazyfp": {"slow_chain": 0x0073_0000},
     "ssb": {"slot": 0x0080_0000},
+    # Cross-context attacks (repro.smt): each pair of programs shares main
+    # memory, so the attacker and victim blocks — including the handshake
+    # flag words both sides poll — live in one table entry per attack
+    # instead of being re-declared per module.  ``flags`` is a base; flag
+    # word k sits at ``flags + 8*k``.
+    "cross_prime_probe": {
+        "array": 0x0090_0000, "size": 0x0091_0000, "flags": 0x0092_0000,
+    },
+    "cross_btb": {
+        "array": 0x0093_0000, "size": 0x0094_0000, "flags": 0x0095_0000,
+    },
+    "cross_ras": {
+        "array": 0x0096_0000, "flags": 0x0097_0000, "scratch": 0x0098_0000,
+    },
+    "smt_fuzz": {
+        "array": 0x009A_0000, "size": 0x009B_0000, "table": 0x009C_0000,
+        "flags": 0x009D_0000, "slot": 0x009E_0000,
+    },
 }
 
 
@@ -261,6 +279,95 @@ def emit_cache_recover(asm: Assembler, guesses: List[int]) -> None:
         asm.sub(R24, R23, R22)
         asm.li(R26, RESULTS_BASE + index * 8)
         asm.store(R24, R26, 0)
+
+
+# ---------------------------------------------------------------------- #
+# Cross-context (repro.smt) helpers.  The attacker and victim are separate
+# programs sharing one main memory; they synchronize through flag words
+# (main memory is architecturally coherent — the caches model timing only)
+# and, where the channel requires it, place key instructions at *matching*
+# PCs in both address spaces (the shared BTB is PC-indexed).
+# ---------------------------------------------------------------------- #
+
+
+def pad_to(asm: Assembler, pc: int) -> None:
+    """NOP-pad so the next emitted instruction lands exactly at *pc*.
+
+    Cross-context attacks on PC-indexed shared structures (BTB, RAS) need
+    the attacker's and victim's key instructions at identical PCs; this
+    raises immediately when a program has already grown past the slot.
+    """
+    gap = pc - asm.here
+    if gap < 0:
+        raise ValueError(
+            "program %r already at pc %d, cannot pad back to %d"
+            % (asm.name, asm.here, pc)
+        )
+    asm.nops(gap)
+
+
+def emit_set_flag(asm: Assembler, addr: int, value: int = 1) -> None:
+    """Store *value* to the flag word at *addr*, fenced afterwards."""
+    asm.li(R29, addr)
+    asm.li(R27, value)
+    asm.store(R27, R29, 0)
+    asm.fence()
+
+
+def emit_spin_nonzero(asm: Assembler, addr: int) -> None:
+    """Spin until the flag word at *addr* is non-zero.
+
+    The trailing fence keeps wrong-path execution past the spin exit from
+    dispatching before the flag is architecturally observed — without it
+    the code after a spin could run transiently while the other context
+    is still setting up.
+    """
+    label = "spin_nz_%d" % asm.here
+    asm.li(R29, addr)
+    asm.label(label)
+    asm.load(R27, R29, 0)
+    asm.beq(R27, R0, label)
+    asm.fence()
+
+
+def emit_spin_geq(asm: Assembler, addr: int, reg: int) -> None:
+    """Spin until the counter word at *addr* is >= the value in *reg*.
+
+    The REQ/ACK handshake primitive for per-round lockstep between the
+    contexts; fenced like :func:`emit_spin_nonzero`.
+    """
+    label = "spin_geq_%d" % asm.here
+    asm.li(R29, addr)
+    asm.label(label)
+    asm.load(R27, R29, 0)
+    asm.blt(R27, reg, label)
+    asm.fence()
+
+
+def run_cross_attack(
+    programs: Sequence[Program],
+    config: SimConfig,
+    sharing: str,
+    max_cycles: int = 30_000_000,
+    fast_forward: bool = True,
+) -> Tuple[object, List[RunOutcome]]:
+    """Run an attacker/victim pair co-resident under *config*'s scheme.
+
+    Derives the two-context config (the protection scheme, core, and
+    memory parameters are taken from *config*; ``sharing`` picks the
+    co-residency mode) and runs both programs on an
+    :class:`~repro.smt.SmtMachine`.  Returns ``(machine, outcomes)`` —
+    the machine so callers can also pin the arbiter's interleave digest.
+    """
+    from repro.smt import SmtMachine
+
+    two = replace(
+        config, num_contexts=len(programs), sharing=sharing,
+        engine="reference",
+    ).validate()
+    machine = SmtMachine(list(programs), two, fast_forward=fast_forward)
+    outcomes = machine.run(max_cycles=max_cycles)
+    return machine, outcomes
 
 
 def default_guesses(

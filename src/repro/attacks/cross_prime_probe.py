@@ -1,0 +1,137 @@
+"""Cross-context PRIME+PROBE over the shared L2 (``sharing="l2"``).
+
+Two full cores share only the L2.  The victim context runs a classic
+bounds-check-bypass gadget against *its own* mis-trained predictor; the
+attacker context never executes victim code at all — it primes the probe
+lines out of the shared L2, signals the victim to fire, and then times
+the probe lines from its own core.  The victim's wrong-path transmit load
+fills the shared L2, so the secret's line comes back at L2-hit latency
+while every other guess pays the DRAM round trip.
+
+This is the co-residency channel NDA's threat model calls out: no shared
+address-space entry point is needed, only a shared cache level.  Blocked
+by every NDA policy and by InvisiSpec (the transmit load never fills);
+leaks under the unprotected baseline.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Tuple
+
+from repro.attacks.common import (
+    ARRAY_SIZE,
+    CACHE_LEAK_MARGIN,
+    PROBE_BASE,
+    PROBE_STRIDE,
+    SECRET_OFFSET,
+    AttackOutcome,
+    default_guesses,
+    emit_cache_recover,
+    emit_probe_flush,
+    emit_set_flag,
+    emit_spin_nonzero,
+    read_timings,
+    run_cross_attack,
+    victim_map,
+)
+from repro.config import SimConfig
+from repro.errors import ConfigError
+from repro.isa.assembler import Assembler
+from repro.isa.program import Program
+from repro.isa.registers import R10, R11, R12, R13, R20, R21
+
+SHARING = "l2"
+
+_MAP = victim_map("cross_prime_probe")
+ARRAY_BASE = _MAP["array"]
+SIZE_ADDR = _MAP["size"]
+SECRET_ADDR = ARRAY_BASE + SECRET_OFFSET
+GO_FLAG = _MAP["flags"] + 0  # attacker -> victim: probes are primed, fire
+DONE_FLAG = _MAP["flags"] + 8  # victim -> attacker: transmit attempted
+TRAIN_CALLS = 6
+
+
+def build_programs(
+    secret: int = 42, guesses: Optional[List[int]] = None
+) -> Tuple[Program, Program]:
+    """Assemble the (attacker, victim) pair."""
+    guesses = guesses if guesses is not None else default_guesses(secret)
+
+    # Attacker (context 0): prime -> signal -> wait -> probe.
+    atk = Assembler("cross_pp_attacker")
+    emit_probe_flush(atk, guesses)
+    emit_set_flag(atk, GO_FLAG)
+    emit_spin_nonzero(atk, DONE_FLAG)
+    emit_cache_recover(atk, guesses)
+    atk.halt()
+
+    # Victim (context 1): the Listing-1 gadget, self-trained; it fires
+    # once the attacker has primed the probe lines out of the shared L2.
+    vic = Assembler("cross_pp_victim")
+    vic.word(SIZE_ADDR, ARRAY_SIZE)
+    vic.data(ARRAY_BASE, bytes(range(1, ARRAY_SIZE + 1)))
+    vic.data(SECRET_ADDR, bytes([secret]))
+
+    vic.jmp("main")
+    vic.label("victim")
+    vic.li(R20, SIZE_ADDR)
+    vic.load(R20, R20, 0)  # array_size (flushed before the attack call)
+    vic.bge(R10, R20, "victim_done")
+    vic.add(R21, R11, R10)
+    vic.loadb(R21, R21, 0)  # access: secret = array[x]
+    vic.mul(R21, R21, R13)
+    vic.add(R21, R21, R12)
+    vic.load(R21, R21, 0)  # transmit: fills the *shared* L2
+    vic.label("victim_done")
+    vic.ret()
+
+    vic.label("main")
+    vic.li(R11, ARRAY_BASE)
+    vic.li(R12, PROBE_BASE)
+    vic.li(R13, PROBE_STRIDE)
+    vic.li(R20, SECRET_ADDR)
+    vic.loadb(R21, R20, 0)  # the victim touched its secret recently
+    for index in range(TRAIN_CALLS):
+        vic.li(R10, index % ARRAY_SIZE)
+        vic.call("victim")
+    emit_spin_nonzero(vic, GO_FLAG)
+    vic.li(R20, SIZE_ADDR)
+    vic.clflush(R20, 0)
+    vic.fence()
+    vic.li(R10, SECRET_OFFSET)  # out-of-bounds: array[x] aliases the secret
+    vic.call("victim")
+    vic.fence()
+    emit_set_flag(vic, DONE_FLAG)
+    vic.halt()
+
+    return atk.build(), vic.build()
+
+
+def run(
+    config: SimConfig,
+    secret: int = 42,
+    guesses: Optional[List[int]] = None,
+    in_order: bool = False,
+    fast_forward: bool = True,
+) -> AttackOutcome:
+    """Run the attack pair on *config*; report whether the secret leaked."""
+    if in_order:
+        raise ConfigError(
+            "cross-context attacks run on co-resident OoO contexts; the "
+            "in-order core has no multi-context mode"
+        )
+    guesses = guesses if guesses is not None else default_guesses(secret)
+    programs = build_programs(secret, guesses)
+    _, outcomes = run_cross_attack(
+        programs, config, SHARING, fast_forward=fast_forward
+    )
+    return AttackOutcome(
+        attack="cross_prime_probe",
+        channel="cross-d-cache",
+        config_label=outcomes[0].label,
+        secret=secret,
+        timings=read_timings(outcomes[0], guesses),
+        guesses=guesses,
+        margin_required=CACHE_LEAK_MARGIN,
+        outcome=outcomes[0],
+    )

@@ -14,6 +14,9 @@ from dataclasses import dataclass
 from typing import Callable, Dict, List, Tuple
 
 from repro.attacks import (
+    cross_btb,
+    cross_prime_probe,
+    cross_ras,
     gpr_steering,
     lazyfp,
     meltdown,
@@ -36,6 +39,11 @@ class AttackInfo:
     channel: str  # covert channel used by our PoC
     module: object  # the PoC module (has .run)
     demonstrated_in: str  # citation context from Table 1
+    # Cross-context attacks (repro.smt) run an attacker/victim pair of
+    # co-resident hardware contexts; single-context rows keep the
+    # defaults.
+    contexts: int = 1
+    sharing: str = ""  # "smt" or "l2" when contexts > 1
 
 
 # The implemented PoCs, classified per Table 1.
@@ -58,6 +66,32 @@ IMPLEMENTED: Tuple[AttackInfo, ...] = (
                meltdown, "Lipp et al. [36]"),
     AttackInfo("lazyfp", "chosen-code", "d-cache",
                lazyfp, "Stecklina & Prescher [59] / v3a"),
+)
+
+# Cross-context attacks: an attacker and a victim program co-resident on
+# two hardware contexts (repro.smt).  Kept in their own tuple — they run
+# on a pair of contexts, never on the single-context in-order core, and
+# their channels get distinct "cross-*" names so single-context fuzzing
+# claims are unaffected.  All are control-steering in the victim: the
+# transient window opens under the victim's own unresolved branch/return.
+CROSS_IMPLEMENTED: Tuple[AttackInfo, ...] = (
+    AttackInfo("cross_prime_probe", "control-steering", "cross-d-cache",
+               cross_prime_probe, "NDA threat model, section 3 (SMT/"
+               "co-tenant co-residency)", contexts=2, sharing="l2"),
+    AttackInfo("cross_btb", "control-steering", "cross-btb",
+               cross_btb, "Spectre v2 cross-context variant [34]",
+               contexts=2, sharing="smt"),
+    AttackInfo("cross_ras", "control-steering", "cross-ras",
+               cross_ras, "ret2spec cross-context variant [41]",
+               contexts=2, sharing="smt"),
+)
+
+# Channels a co-resident receiver can observe without any shared address
+# space; cross-i-cache has no dedicated PoC (the shared L1I is exercised
+# incidentally by cross_btb's aliased fetch paths) but the taint oracle
+# tracks it.
+CROSS_CHANNELS: Tuple[str, ...] = (
+    "cross-d-cache", "cross-i-cache", "cross-btb", "cross-ras",
 )
 
 # Table 1 rows that have no separate PoC here, with the implemented PoC

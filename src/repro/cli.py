@@ -41,7 +41,7 @@ import argparse
 import sys
 from typing import List, Optional
 
-from repro.attacks.taxonomy import IMPLEMENTED
+from repro.attacks.taxonomy import CROSS_IMPLEMENTED, IMPLEMENTED
 from repro.config import config_registry
 from repro.engine import ResultCache
 from repro.harness import (
@@ -150,13 +150,21 @@ def _build_parser() -> argparse.ArgumentParser:
 
     attack = sub.add_parser("attack", help="run one attack PoC")
     attack.add_argument(
-        "name", choices=sorted({info.name for info in IMPLEMENTED})
+        "name",
+        choices=sorted(
+            {info.name for info in IMPLEMENTED}
+            | {info.name for info in CROSS_IMPLEMENTED}
+        ),
     )
     attack.add_argument(
         "--config", default="ooo", choices=_CONFIG_NAMES
     )
     attack.add_argument("--secret", type=int, default=42)
     attack.add_argument("--guesses", type=int, default=64)
+    attack.add_argument(
+        "--contexts", type=int, default=None, choices=(1, 2),
+        help="hardware contexts (cross-context attacks imply 2)",
+    )
     attack.add_argument(
         "--json", action="store_true",
         help="print a repro.result/v1 attack envelope instead of text",
@@ -171,6 +179,11 @@ def _build_parser() -> argparse.ArgumentParser:
         metavar="NAME",
         help="restrict the matrix to these configurations "
              "(default: every registered one)",
+    )
+    matrix.add_argument(
+        "--cross", action="store_true",
+        help="run the two-context cross-context matrix instead "
+             "(repro.smt co-residency attacks; in-order configs skipped)",
     )
 
     bench = sub.add_parser("bench", help="performance sweep (Fig 7/Table 2)")
@@ -345,6 +358,12 @@ def _build_parser() -> argparse.ArgumentParser:
         help="batch N runs at a time through the in-process lockstep "
              "runner (bit-identical; the fast path on one CPU; "
              "mutually exclusive with --backend/--checkpoint/--resume)",
+    )
+    fuzz_run.add_argument(
+        "--smt", action="store_true",
+        help="fuzz paired two-context programs on the co-residency "
+             "model (cross-context channels; incompatible with "
+             "--windows > 1)",
     )
 
     fuzz_replay = fuzz_sub.add_parser(
@@ -547,14 +566,45 @@ def main(argv: Optional[List[str]] = None) -> int:
         )
 
     if args.command == "attack":
-        info = next(i for i in IMPLEMENTED if i.name == args.name)
+        cross_info = next(
+            (i for i in CROSS_IMPLEMENTED if i.name == args.name), None
+        )
         spec = config_registry()[args.config]
         config, in_order = spec.config, spec.in_order
         from repro.attacks.common import default_guesses
         guesses = default_guesses(args.secret, args.guesses)
-        outcome = info.module.run(
-            config, secret=args.secret, guesses=guesses, in_order=in_order
-        )
+        if cross_info is not None:
+            if args.contexts == 1:
+                sys.stderr.write(
+                    "error: %s is a cross-context attack; it needs "
+                    "--contexts 2\n" % args.name
+                )
+                return 2
+            if in_order:
+                sys.stderr.write(
+                    "error: cross-context attacks pair two out-of-order "
+                    "contexts; pick an OoO --config\n"
+                )
+                return 2
+            outcome = cross_info.module.run(
+                config, secret=args.secret, guesses=guesses,
+                in_order=in_order,
+            )
+        else:
+            if args.contexts == 2:
+                sys.stderr.write(
+                    "error: %s is a single-context attack; drop "
+                    "--contexts 2 (cross-context PoCs: %s)\n"
+                    % (args.name,
+                       ", ".join(i.name for i in CROSS_IMPLEMENTED))
+                )
+                return 2
+            outcome = next(
+                i for i in IMPLEMENTED if i.name == args.name
+            ).module.run(
+                config, secret=args.secret, guesses=guesses,
+                in_order=in_order,
+            )
         if args.json:
             import json as json_mod
 
@@ -576,8 +626,15 @@ def main(argv: Optional[List[str]] = None) -> int:
         if args.configs:
             registry = config_registry()
             configs = [registry[name] for name in args.configs]
-        rows = table1_matrix(configs=configs, guesses=args.guesses)
-        print(render_table1(rows))
+        if args.cross:
+            from repro.harness.tables import (
+                cross_matrix, render_cross_matrix,
+            )
+            rows = cross_matrix(configs=configs, guesses=args.guesses)
+            print(render_cross_matrix(rows))
+        else:
+            rows = table1_matrix(configs=configs, guesses=args.guesses)
+            print(render_table1(rows))
         mismatches = [r for r in rows if r["leaked"] != r["expected"]]
         return 1 if mismatches else 0
 
@@ -945,6 +1002,7 @@ def _fuzz(args) -> int:
             checkpoint=args.checkpoint,
             resume=args.resume,
             windows=args.windows,
+            smt=args.smt,
         )
         print(campaign.describe())
         from repro.obs import (

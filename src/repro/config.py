@@ -229,6 +229,16 @@ class SimConfig:
     # deliberately EXCLUDED from to_dict()/cache_key(): both engines must
     # share cached results.
     engine: str = "fast"
+    # Hardware contexts sharing microarchitectural state (repro.smt).
+    # ``num_contexts=1`` (the default) is the classic single-context
+    # machine; ``num_contexts=2`` runs two programs co-resident under the
+    # ``sharing`` mode: "smt" (one core: partitioned fetch/ROB/IQ/LSQ plus
+    # shared BTB, RAS, direction predictor, and L1/L2) or "l2" (two
+    # private cores + L1s sharing one L2).  Both fields are EXCLUDED from
+    # to_dict()/cache_key() at their single-context defaults so existing
+    # cache keys and golden files are untouched.
+    num_contexts: int = 1
+    sharing: str = "smt"
 
     def __post_init__(self) -> None:
         scheme = self.scheme
@@ -244,6 +254,15 @@ class SimConfig:
             params = replace(params, **overrides)
         object.__setattr__(self, "scheme", scheme)
         object.__setattr__(self, "scheme_params", params)
+        # Guard rail (not deferred to validate()): the fast engine is
+        # single-context this PR, and silently running a two-context
+        # config on it would produce wrong results.
+        if self.num_contexts > 1 and self.engine == "fast":
+            raise ConfigError(
+                "num_contexts=%d requires engine='reference': the fast "
+                "core is single-context (pass engine='reference' or use "
+                "repro.smt helpers, which do so)" % self.num_contexts
+            )
 
     @property
     def nda_policy(self) -> Optional[NDAPolicyName]:
@@ -267,6 +286,15 @@ class SimConfig:
             raise ConfigError(
                 "unknown engine %r (expected 'fast' or 'reference')"
                 % (self.engine,)
+            )
+        if self.num_contexts not in (1, 2):
+            raise ConfigError(
+                "num_contexts must be 1 or 2 (got %r)" % (self.num_contexts,)
+            )
+        if self.sharing not in ("smt", "l2"):
+            raise ConfigError(
+                "unknown sharing mode %r (expected 'smt' or 'l2')"
+                % (self.sharing,)
             )
         return self
 
@@ -294,6 +322,12 @@ class SimConfig:
 
         payload = asdict(self)
         payload.pop("engine", None)
+        if self.num_contexts == 1:
+            # Single-context configs serialize exactly as they did before
+            # the context model existed, keeping cache keys and golden
+            # files byte-identical.
+            payload.pop("num_contexts", None)
+            payload.pop("sharing", None)
         return convert(payload)
 
     def cache_key(self) -> str:
@@ -347,6 +381,12 @@ class SimConfig:
                 mem.dram_cycles, mem.mshrs,
             )
         )
+        if self.num_contexts > 1:
+            lines.append(
+                "  contexts: %d (%s sharing)"
+                % (self.num_contexts,
+                   "SMT core" if self.sharing == "smt" else "shared-L2")
+            )
         lines.append("  cache key: %s" % self.cache_key()[:16])
         return "\n".join(lines)
 

@@ -29,7 +29,14 @@ def make_core(
     equivalence tests, so callers may treat the choice as a pure
     host-speed knob.
     """
+    from repro.errors import ConfigError
+
     config = (config or SimConfig()).validate()
+    if config.num_contexts > 1:
+        raise ConfigError(
+            "make_core() builds single-context cores; two-context configs "
+            "run through repro.smt.SmtMachine"
+        )
     cls = OutOfOrderCore if config.engine == "reference" else FastOoOCore
     return cls(
         program, config, direction_predictor=direction_predictor,

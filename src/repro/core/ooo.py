@@ -63,21 +63,42 @@ class OutOfOrderCore:
         config: Optional[SimConfig] = None,
         direction_predictor: str = "tournament",
         fast_forward: bool = True,
+        *,
+        ctx: int = 0,
+        shared: Optional["SharedState"] = None,
     ):
         self.config = (config or SimConfig()).validate()
         core = self.config.core
         self.program = program
+        #: Hardware-context id (repro.smt).  0 for single-context runs;
+        #: observers read it to tag events with the owning context.
+        self.ctx = ctx
 
-        self.mem = MainMemory()
+        if shared is not None and shared.mem is not None:
+            self.mem = shared.mem
+        else:
+            self.mem = MainMemory()
         self.mem.load_image(program.data)
         self.msrs = dict(program.msrs)
-        self.hierarchy = MemoryHierarchy(self.config.mem)
+        if shared is not None and shared.hierarchy is not None:
+            self.hierarchy = shared.hierarchy
+        else:
+            self.hierarchy = MemoryHierarchy(self.config.mem)
 
-        self.btb = BTB(core.btb_entries, core.btb_assoc)
-        self.ras = RAS(core.ras_entries)
-        self.direction = make_direction_predictor(
-            direction_predictor, core.bp_tables_bits
-        )
+        if shared is not None and shared.btb is not None:
+            self.btb = shared.btb
+        else:
+            self.btb = BTB(core.btb_entries, core.btb_assoc)
+        if shared is not None and shared.ras is not None:
+            self.ras = shared.ras
+        else:
+            self.ras = RAS(core.ras_entries)
+        if shared is not None and shared.direction is not None:
+            self.direction = shared.direction
+        else:
+            self.direction = make_direction_predictor(
+                direction_predictor, core.bp_tables_bits
+            )
         self.fetch_unit = FetchUnit(
             program, self.hierarchy, self.direction, self.btb, self.ras,
             core.fetch_width,

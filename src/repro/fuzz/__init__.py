@@ -24,16 +24,23 @@ from repro.fuzz.campaign import (
     Counterexample,
     FuzzJob,
     FuzzRunResult,
+    SmtFuzzJob,
     claimed_blocked_channels,
+    claimed_blocked_cross_channels,
     fuzz_configs,
     run_campaign,
     run_seed,
+    run_smt_seed,
 )
 from repro.fuzz.corpus import load_witness_file, save_witness_file
 from repro.fuzz.generator import (
+    SMT_TEMPLATES,
     TEMPLATES,
     FuzzProgram,
+    SmtFuzzProgram,
     generate,
+    generate_smt,
+    smt_template_for_seed,
     template_for_seed,
 )
 from repro.fuzz.minimize import (
@@ -43,6 +50,7 @@ from repro.fuzz.minimize import (
 )
 from repro.fuzz.taint import (
     CHANNELS,
+    SHARED_CHANNELS,
     LeakWitness,
     TaintOracle,
     run_with_oracle,
@@ -58,17 +66,25 @@ __all__ = [
     "FuzzRunResult",
     "LeakWitness",
     "MinimizeResult",
+    "SHARED_CHANNELS",
+    "SMT_TEMPLATES",
+    "SmtFuzzJob",
+    "SmtFuzzProgram",
     "TEMPLATES",
     "TaintOracle",
     "claimed_blocked_channels",
+    "claimed_blocked_cross_channels",
     "differential_predicate",
     "fuzz_configs",
     "generate",
+    "generate_smt",
     "load_witness_file",
     "minimize_program",
     "run_campaign",
     "run_seed",
+    "run_smt_seed",
     "run_with_oracle",
     "save_witness_file",
+    "smt_template_for_seed",
     "template_for_seed",
 ]

@@ -25,10 +25,25 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence, Tuple
 
-from repro.attacks.taxonomy import IMPLEMENTED, expected_leak
+from repro.attacks.taxonomy import (
+    CROSS_CHANNELS,
+    CROSS_IMPLEMENTED,
+    IMPLEMENTED,
+    expected_leak,
+)
 from repro.config import ConfigSpec, config_registry
-from repro.fuzz.generator import generate, template_for_seed
-from repro.fuzz.taint import CHANNELS, LeakWitness, run_with_oracle
+from repro.fuzz.generator import (
+    generate,
+    generate_smt,
+    smt_template_for_seed,
+    template_for_seed,
+)
+from repro.fuzz.taint import (
+    CHANNELS,
+    SHARED_CHANNELS,
+    LeakWitness,
+    run_with_oracle,
+)
 
 #: Baseline configuration a witness must reproduce under to count as
 #: channel coverage (the unprotected out-of-order core).
@@ -62,6 +77,24 @@ def claimed_blocked_channels(spec: ConfigSpec) -> Tuple[str, ...]:
         if attacks and not any(
             expected_leak(a, spec.config, in_order=spec.in_order)
             for a in attacks
+        ):
+            claimed.append(channel)
+    return tuple(claimed)
+
+
+def claimed_blocked_cross_channels(spec: ConfigSpec) -> Tuple[str, ...]:
+    """Cross-context channels *spec* claims to block, same derivation as
+    :func:`claimed_blocked_channels` but over the cross-context taxonomy.
+
+    cross-i-cache has no dedicated PoC, so no scheme claims it and a
+    cross-i-cache witness is never a counterexample — expected signal
+    only.
+    """
+    claimed = []
+    for channel in CROSS_CHANNELS:
+        attacks = [a for a in CROSS_IMPLEMENTED if a.channel == channel]
+        if attacks and not any(
+            expected_leak(a, spec.config) for a in attacks
         ):
             claimed.append(channel)
     return tuple(claimed)
@@ -146,6 +179,80 @@ class FuzzJob:
         )
 
 
+@dataclass(frozen=True)
+class SmtFuzzJob:
+    """One two-context fuzz execution for the engine scheduler."""
+
+    seed: int
+    config_name: str
+    template: str
+    max_cycles: int = 400_000
+
+    @property
+    def coordinates(self) -> tuple:
+        return (self.seed, self.config_name)
+
+    def describe(self) -> str:
+        return "smt-fuzz seed %d [%s] on %s" % (
+            self.seed, self.template, self.config_name,
+        )
+
+    def execute(self) -> FuzzRunResult:
+        return run_smt_seed(
+            self.seed,
+            self.config_name,
+            template=self.template,
+            max_cycles=self.max_cycles,
+        )
+
+
+def run_smt_seed(
+    seed: int,
+    config_name: str,
+    template: str = "",
+    max_cycles: int = 400_000,
+) -> FuzzRunResult:
+    """Run one fuzz seed as a co-resident pair under one configuration.
+
+    The victim context (context 1) gets the taint oracle, configured
+    with the pair's sharing mode so squash-surviving footprints on
+    shared structures surface as ``cross-*`` witnesses.  The attacker
+    context carries no secrets and needs no oracle.
+    """
+    from dataclasses import replace
+
+    from repro.fuzz.taint import TaintOracle
+    from repro.smt import SmtMachine
+
+    spec = config_registry()[config_name]
+    pair = generate_smt(seed, template=template)
+    config = replace(
+        spec.config, num_contexts=2, sharing=pair.sharing,
+        engine="reference",
+    ).validate()
+    machine = SmtMachine([pair.attacker, pair.victim.program], config)
+    oracle = TaintOracle(
+        secret_ranges=pair.victim.secret_ranges,
+        tainted_bytes=pair.victim.tainted_bytes,
+        ctx=1,
+        shared_channels=SHARED_CHANNELS[pair.sharing],
+    )
+    oracle.attach(machine.cores[1])
+    try:
+        outcomes = machine.run(max_cycles=max_cycles)
+    finally:
+        oracle.detach()
+    return FuzzRunResult(
+        seed=seed,
+        config_name=config_name,
+        template=pair.template,
+        channel=pair.channel,
+        analog=pair.analog,
+        witnesses=tuple(oracle.witnesses),
+        cycles=outcomes[1].stats.cycles,
+    )
+
+
 def run_seed(
     seed: int,
     config_name: str,
@@ -207,13 +314,17 @@ class CampaignResult:
     engine: object = None
 
     def baseline_channel_counts(self) -> Dict[str, int]:
-        """Witness count per channel class under the unprotected core."""
+        """Witness count per channel class under the unprotected core.
+
+        Cross-context campaigns produce ``cross-*`` channels beyond the
+        single-context :data:`CHANNELS` set; those appear as extra keys.
+        """
         counts = {channel: 0 for channel in CHANNELS}
         for result in self.results:
             if result.config_name != BASELINE:
                 continue
             for witness in result.witnesses:
-                counts[witness.channel] += 1
+                counts[witness.channel] = counts.get(witness.channel, 0) + 1
         return counts
 
     @property
@@ -229,13 +340,16 @@ class CampaignResult:
             % (len(seeds), len(configs), len(self.results))
         )
         counts = self.baseline_channel_counts()
+        channel_order = list(CHANNELS) + sorted(
+            set(counts) - set(CHANNELS)
+        )
         lines.append(
             "baseline (%s) witnesses by channel: %s"
             % (
                 BASELINE,
                 "  ".join(
                     "%s=%d" % (channel, counts[channel])
-                    for channel in CHANNELS
+                    for channel in channel_order
                 ),
             )
         )
@@ -376,8 +490,16 @@ def run_campaign(
     checkpoint_interval: int = 25,
     resume=None,
     windows: int = 1,
+    smt: bool = False,
 ) -> CampaignResult:
     """Run the differential campaign: ``seeds x configs`` fuzz runs.
+
+    With ``smt=True`` every seed runs as a co-resident attacker/victim
+    pair on the two-context machine (repro.smt) and witnesses are judged
+    against each scheme's *cross-context* claims
+    (:func:`claimed_blocked_cross_channels`).  SMT pairs run through the
+    reference engine's two-context lockstep already, so ``windows > 1``
+    does not combine with ``smt``.
 
     Executes through the suite engine's parallel scheduler (fork-based
     workers, deterministic results, serial fallback on worker failure);
@@ -401,22 +523,41 @@ def run_campaign(
             "windows > 1 runs in-process and cannot combine with "
             "backend/checkpoint/resume"
         )
+    if smt and windows > 1:
+        raise ValueError(
+            "smt campaigns drive the two-context machine directly and "
+            "cannot combine with the lockstep windows runner"
+        )
     names = list(config_names) if config_names else fuzz_configs()
     registry = config_registry()
+    claims_for = (
+        claimed_blocked_cross_channels if smt else claimed_blocked_channels
+    )
     claimed = {
-        name: frozenset(claimed_blocked_channels(registry[name]))
-        for name in names
+        name: frozenset(claims_for(registry[name])) for name in names
     }
-    fuzz_jobs = [
-        FuzzJob(
-            seed=seed,
-            config_name=name,
-            template=template_for_seed(seed),
-            max_cycles=max_cycles,
-        )
-        for seed in seeds
-        for name in names
-    ]
+    if smt:
+        fuzz_jobs = [
+            SmtFuzzJob(
+                seed=seed,
+                config_name=name,
+                template=smt_template_for_seed(seed),
+                max_cycles=max_cycles,
+            )
+            for seed in seeds
+            for name in names
+        ]
+    else:
+        fuzz_jobs = [
+            FuzzJob(
+                seed=seed,
+                config_name=name,
+                template=template_for_seed(seed),
+                max_cycles=max_cycles,
+            )
+            for seed in seeds
+            for name in names
+        ]
     if windows > 1:
         results, failures, stats = _execute_jobs_lockstep(
             fuzz_jobs, windows, progress=progress,

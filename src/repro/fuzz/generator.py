@@ -363,6 +363,97 @@ def _build_cold_jump(seed: int, rng: random.Random) -> FuzzProgram:
     )
 
 
+SMT_SLOT_ADDR = victim_map("smt_fuzz")["slot"]
+
+
+@dataclass(frozen=True)
+class SmtFuzzProgram:
+    """A co-resident pair: attacker noise program + victim gadget.
+
+    The victim is a regular single-context fuzz gadget; what makes the
+    pair cross-context is the machine it runs on (repro.smt) and the
+    oracle configuration — the victim's oracle is told which channels
+    are shared, so its squash-surviving footprints on those structures
+    come back as ``cross-*`` witnesses.  The attacker context never
+    shares an address range with the victim's secrets; it exists to
+    exercise the shared structures concurrently (arbiter interleaving,
+    shared-predictor pollution, shared-cache pressure).
+    """
+
+    attacker: Program = field(repr=False)
+    victim: FuzzProgram
+    template: str
+    sharing: str  # "smt" or "l2"
+    channel: str  # cross-channel class the victim gadget targets
+    seed: int
+
+    @property
+    def analog(self) -> str:
+        return self.victim.analog
+
+
+def _build_smt_attacker(seed: int, rng: random.Random) -> Program:
+    """A benign co-resident context: a bounded loop of ALU work and
+    loads into its own block.  No secrets, no gadgets — its job is to
+    run *concurrently*, keeping the round-robin arbiter and the shared
+    structures busy while the victim's window opens."""
+    iterations = rng.randrange(8, 33)
+    asm = Assembler("smt-fuzz-attacker-s%d" % seed)
+    asm.li(R18, 0)
+    asm.li(R19, iterations)
+    asm.label("loop")
+    _filler(asm, rng, budget=5)
+    if rng.random() < 0.7:
+        asm.li(R20, SMT_SLOT_ADDR + 64 * rng.randrange(0, 8))
+        asm.load(R21, R20, 0)
+    asm.addi(R18, R18, 1)
+    asm.blt(R18, R19, "loop")
+    asm.halt()
+    return asm.build()
+
+
+#: SMT template -> (victim gadget template, sharing mode).  The fpu
+#: gadget is deliberately absent: functional units stay per-context even
+#: under SMT partitioning, so that channel cannot cross.
+_SMT_VICTIMS: Dict[str, Tuple[str, str]] = {
+    "smt-prime-probe": ("bounds-check", "l2"),
+    "smt-btb-poison": ("indirect-table", "smt"),
+    "smt-cold-steer": ("cold-jump", "smt"),
+}
+
+#: SMT template names in round-robin order (seed -> template mapping).
+SMT_TEMPLATES: Tuple[str, ...] = tuple(_SMT_VICTIMS)
+
+
+def smt_template_for_seed(seed: int) -> str:
+    """Round-robin SMT template choice."""
+    return SMT_TEMPLATES[seed % len(SMT_TEMPLATES)]
+
+
+def generate_smt(seed: int, template: str = "") -> SmtFuzzProgram:
+    """Build the deterministic attacker/victim pair for *seed*."""
+    name = template or smt_template_for_seed(seed)
+    try:
+        victim_template, sharing = _SMT_VICTIMS[name]
+    except KeyError:
+        raise ValueError(
+            "unknown SMT fuzz template %r (have: %s)"
+            % (name, ", ".join(SMT_TEMPLATES))
+        )
+    victim = generate(seed, template=victim_template)
+    attacker = _build_smt_attacker(
+        seed, random.Random("smt-fuzz/%d" % seed)
+    )
+    return SmtFuzzProgram(
+        attacker=attacker,
+        victim=victim,
+        template=name,
+        sharing=sharing,
+        channel="cross-" + victim.channel,
+        seed=seed,
+    )
+
+
 _BUILDERS: Dict[str, Callable[[int, random.Random], FuzzProgram]] = {
     "bounds-check": _build_bounds_check,
     "indirect-table": _build_indirect_table,

@@ -52,6 +52,17 @@ from repro.isa.opcodes import FUType, Opcode
 #: spellings used by :data:`repro.attacks.taxonomy.IMPLEMENTED`.
 CHANNELS: Tuple[str, ...] = ("d-cache", "i-cache", "btb", "fpu")
 
+#: Structures a co-resident context can observe, per sharing mode
+#: (repro.smt).  An SMT pair shares the whole L1/L2 hierarchy and the
+#: BTB; a shared-L2 pair shares only the L2, but every L1 fill also
+#: fills the L2, so d-/i-cache footprints are cross-visible there too.
+#: The per-context functional units stay private in both modes, so the
+#: fpu channel never crosses.
+SHARED_CHANNELS = {
+    "smt": ("d-cache", "i-cache", "btb"),
+    "l2": ("d-cache", "i-cache"),
+}
+
 
 @dataclass(frozen=True)
 class LeakWitness:
@@ -110,7 +121,19 @@ class TaintOracle:
         tainted_bytes: Iterable[int] = (),
         secret_msrs: Iterable[int] = (),
         max_witnesses: int = 256,
+        ctx: int = 0,
+        shared_channels: Iterable[str] = (),
     ):
+        #: Hardware context this oracle (and its secrets) belongs to.  In
+        #: a two-context run each context gets its own oracle: the taint
+        #: sources are that context's secrets, so a witness here is a
+        #: transient promotion of *this* context's data.
+        self.ctx = ctx
+        #: Channels whose persistent state the co-resident context can
+        #: observe (see :data:`SHARED_CHANNELS`).  Witnesses on these are
+        #: renamed ``cross-<channel>``: the same squash-surviving update,
+        #: but readable without any shared address space.
+        self.shared_channels = frozenset(shared_channels)
         self.secret_ranges: Tuple[Tuple[int, int], ...] = tuple(
             (int(lo), int(hi)) for lo, hi in secret_ranges
         )
@@ -194,7 +217,18 @@ class TaintOracle:
                 return True
         return False
 
+    def _cross(self, channel: str, detail: str) -> Tuple[str, str]:
+        """Rename a witness on a shared structure to its cross-* channel."""
+        if channel in self.shared_channels:
+            return (
+                "cross-" + channel,
+                detail + " (context %d secret, structure shared with the "
+                         "co-resident context)" % self.ctx,
+            )
+        return channel, detail
+
     def _cand(self, entry, channel: str, addr: int, detail: str) -> None:
+        channel, detail = self._cross(channel, detail)
         witness = LeakWitness(
             channel=channel,
             seq=entry.seq,
@@ -352,13 +386,16 @@ class TaintOracle:
         if not self._steer:
             return
         steer_seq = max(self._steer)
+        channel, detail = self._cross(
+            "i-cache", "i-cache fill on a tainted-steered path"
+        )
         witness = LeakWitness(
-            channel="i-cache",
+            channel=channel,
             seq=steer_seq,
             pc=self._steer[steer_seq],
             addr=addr,
             cycle=now,
-            detail="i-cache fill on a tainted-steered path",
+            detail=detail,
         )
         self._icands.append((steer_seq, witness))
 

@@ -39,7 +39,7 @@ from repro.config import SimConfig
 from repro.core import make_core
 from repro.core.inorder import InOrderCore
 from repro.core.outcome import RunOutcome
-from repro.errors import SimulationError
+from repro.errors import ConfigError, SimulationError
 from repro.stats.counters import PipelineStats
 from repro.workloads.generator import spec_program
 
@@ -149,6 +149,13 @@ def run_windows(
     """
     if quantum <= 0:
         raise ValueError("quantum must be positive, got %d" % quantum)
+    for task in tasks:
+        if getattr(task.config, "num_contexts", 1) > 1:
+            raise ConfigError(
+                "the lockstep window runner interleaves independent "
+                "single-context cores; a num_contexts=%d config needs "
+                "repro.smt.SmtMachine instead" % task.config.num_contexts
+            )
     out = MultiWindowResult()
     setup_start = time.perf_counter()
     states: List[_WindowState] = []
@@ -224,6 +231,14 @@ def run_cores_lockstep(
     """
     if quantum <= 0:
         raise ValueError("quantum must be positive, got %d" % quantum)
+    for core in cores:
+        config = getattr(core, "config", None)
+        if getattr(config, "num_contexts", 1) > 1:
+            raise ConfigError(
+                "the lockstep core runner drives independent "
+                "single-context cores; a num_contexts=%d config needs "
+                "repro.smt.SmtMachine instead" % config.num_contexts
+            )
     outcomes: List[Optional[RunOutcome]] = [None] * len(cores)
     walls = [0.0] * len(cores)
     remaining = len(cores)

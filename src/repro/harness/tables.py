@@ -90,6 +90,76 @@ def render_table1(rows: List[dict]) -> str:
 
 
 # ---------------------------------------------------------------------- #
+# Cross-context security matrix (repro.smt co-residency channels).
+# ---------------------------------------------------------------------- #
+
+
+def cross_matrix(
+    configs: Optional[Sequence[ConfigSpec]] = None,
+    guesses: int = 16,
+) -> List[dict]:
+    """Run every cross-context attack pair on every OoO configuration.
+
+    Same row shape as :func:`table1_matrix`.  In-order specs are skipped:
+    the co-residency model runs pairs of OoO contexts only.
+    """
+    from repro.attacks.common import default_guesses
+    from repro.attacks.taxonomy import CROSS_IMPLEMENTED
+
+    specs = (
+        [ConfigSpec.coerce(spec) for spec in configs]
+        if configs is not None else figure7_config_specs()
+    )
+    rows = []
+    for info in CROSS_IMPLEMENTED:
+        guess_list = default_guesses(42, guesses)
+        for spec in specs:
+            if spec.in_order:
+                continue
+            outcome = info.module.run(spec.config, guesses=guess_list)
+            rows.append({
+                "attack": info.name,
+                "access_class": info.access_class,
+                "channel": info.channel,
+                "sharing": info.sharing,
+                "config": spec.label,
+                "leaked": outcome.leaked,
+                "expected": expected_leak(info, spec.config),
+            })
+    return rows
+
+
+def render_cross_matrix(rows: List[dict]) -> str:
+    configs = []
+    for row in rows:
+        if row["config"] not in configs:
+            configs.append(row["config"])
+    attacks = []
+    for row in rows:
+        if row["attack"] not in attacks:
+            attacks.append(row["attack"])
+    cell = {(r["attack"], r["config"]): r for r in rows}
+    headers = ["attack (sharing/channel)"] + configs
+    table_rows = []
+    for attack in attacks:
+        sample = next(r for r in rows if r["attack"] == attack)
+        row = ["%s (%s/%s)" % (attack, sample["sharing"],
+                               sample["channel"])]
+        for config in configs:
+            entry = cell[(attack, config)]
+            mark = "LEAK" if entry["leaked"] else "safe"
+            if entry["leaked"] != entry["expected"]:
+                mark += "!?"
+            row.append(mark)
+        table_rows.append(row)
+    return render_table(
+        headers, table_rows,
+        title="Cross-context security matrix (two co-resident contexts; "
+              "'!?' marks divergence from the expected claim)",
+    )
+
+
+# ---------------------------------------------------------------------- #
 # Table 2 — policies, protections, and overheads.
 # ---------------------------------------------------------------------- #
 

@@ -51,13 +51,17 @@ class MemoryHierarchy:
     substrate of every attack in the paper.
     """
 
-    def __init__(self, config: MemConfig, replacement: Optional[str] = None):
+    def __init__(self, config: MemConfig, replacement: Optional[str] = None,
+                 l2: Optional[Cache] = None):
         config.validate()
         replacement = replacement or config.replacement
         self.config = config
         self.l1i = Cache(config.l1i, "l1i", replacement)
         self.l1d = Cache(config.l1d, "l1d", replacement)
-        self.l2 = Cache(config.l2, "l2", replacement)
+        # An externally supplied L2 makes this hierarchy one slice of a
+        # multi-core machine (repro.smt "l2" sharing): the L1s stay
+        # private while every hierarchy fills/probes the same L2 object.
+        self.l2 = l2 if l2 is not None else Cache(config.l2, "l2", replacement)
         self.dtlb = TLB()
         self.prefetcher = make_prefetcher(
             config.prefetcher, config.l1d.line_bytes, config.prefetch_degree

@@ -36,6 +36,7 @@ from repro.obs.perfetto import (
     counter_trace_events,
     engine_trace_events,
     lifecycle_trace_events,
+    smt_trace_events,
     validate_chrome_trace,
     write_chrome_trace,
 )
@@ -63,6 +64,7 @@ __all__ = [
     "counter_trace_events",
     "engine_trace_events",
     "lifecycle_trace_events",
+    "smt_trace_events",
     "validate_chrome_trace",
     "write_chrome_trace",
     "MANIFEST_SCHEMA_VERSION",

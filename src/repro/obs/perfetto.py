@@ -53,6 +53,7 @@ def lifecycle_trace_events(
     records: Iterable,
     pid: int = PIPELINE_PID,
     max_lanes: int = 64,
+    process_name: str = "simulated pipeline",
 ) -> List[dict]:
     """Trace events for per-instruction lifecycle records.
 
@@ -139,7 +140,32 @@ def lifecycle_trace_events(
                 "name": "%s %s" % (kind, name), "cat": "invisispec",
                 "ts": cycle, "args": args,
             })
-    events.extend(_process_meta(pid, "simulated pipeline"))
+    events.extend(_process_meta(pid, process_name))
+    return events
+
+
+def smt_trace_events(
+    records_by_context: Iterable[Iterable],
+    base_pid: int = PIPELINE_PID,
+    max_lanes: int = 64,
+) -> List[dict]:
+    """Per-context pipeline lanes for a co-residency (:mod:`repro.smt`) run.
+
+    *records_by_context* holds one record sequence per hardware context
+    (e.g. from a :class:`~repro.debug.trace.PipelineTracer` attached to
+    each of ``SmtMachine.cores``).  Context ``i`` becomes Perfetto
+    process ``base_pid + i`` named ``context i pipeline``, so the two
+    contexts render as stacked process groups on a shared cycle ruler —
+    cross-context interleaving reads directly off the trace.
+    """
+    events: List[dict] = []
+    for ctx, records in enumerate(records_by_context):
+        events.extend(lifecycle_trace_events(
+            records,
+            pid=base_pid + ctx,
+            max_lanes=max_lanes,
+            process_name="context %d pipeline" % ctx,
+        ))
     return events
 
 

@@ -104,7 +104,10 @@ class FenceOnBranchModel(ProtectionModel):
     @classmethod
     def expected_leak(cls, attack, params: FenceOnBranchParams) -> bool:
         if params.fence_loads:
-            return False  # both gates together block all nine PoCs
+            return False  # both gates together block every PoC
         # Branch gate alone: control-steering attacks are blocked, but
-        # branch-free windows (chosen-code, SSB) still leak.
+        # branch-free windows (chosen-code, SSB) still leak.  The
+        # cross-context PoCs are all control-steering in the victim (the
+        # transient window opens under an unresolved branch or return),
+        # so both variants block them.
         return attack.access_class == "chosen-code" or attack.name == "ssb"

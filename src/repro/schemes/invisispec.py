@@ -138,8 +138,13 @@ class InvisiSpecModel(ProtectionModel):
     @classmethod
     def expected_leak(cls, attack, params: InvisiSpecParams) -> bool:
         # InvisiSpec blocks d-cache attacks within its threat model, never
-        # non-cache channels.
-        if attack.channel != "d-cache":
+        # non-cache channels.  That split carries over to the cross-context
+        # attacks: cross-d-cache and cross-ras ultimately *transmit*
+        # through the d-cache (the shared RAS only steers), so the
+        # invisible-fill defense blocks them, while cross-btb encodes the
+        # secret in the BTB entry itself — load data is still forwarded to
+        # dependents, the transient install happens, and the secret leaks.
+        if attack.channel not in ("d-cache", "cross-d-cache", "cross-ras"):
             return True
         if attack.access_class == "chosen-code" or attack.name == "ssb":
             return not params.future  # -Spectre covers branches only

@@ -121,4 +121,9 @@ class NDAModel(ProtectionModel):
             # Register-resident secrets need strict propagation (§4.2);
             # permissive and load restriction leave GPRs exposed.
             return not policy.protects_gprs
-        return False  # all other control-steering attacks: blocked
+        # All other control-steering attacks are blocked — including the
+        # cross-context channels (cross-d-cache / cross-btb / cross-ras):
+        # NDA restricts the *victim's* wrong-path data propagation at the
+        # source, so it does not matter that the receiver runs on another
+        # hardware context.
+        return False
