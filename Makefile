@@ -2,7 +2,7 @@ PYTHON ?= python
 export PYTHONPATH := src
 
 .PHONY: test attack-smoke bench-smoke fuzz-smoke obs-smoke server-smoke \
-	scale-smoke smt-smoke bench bench-simspeed cache-clear
+	scale-smoke smt-smoke trace-smoke bench bench-simspeed cache-clear
 
 test:
 	$(PYTHON) -m pytest -x -q
@@ -59,12 +59,20 @@ server-smoke:
 scale-smoke:
 	$(PYTHON) benchmarks/scale_smoke.py
 
+# Distributed-tracing smoke: a traced server submit plus a coordinator
+# with two external socket workers, all spooling spans into one
+# REPRO_TRACE_DIR; the merged Perfetto trace must validate and contain
+# causally-linked spans from every process (mirrors CI).
+trace-smoke:
+	$(PYTHON) benchmarks/trace_smoke.py
+
 # Simulator-speed benchmark: host kilo-cycles/sec with the idle-cycle
 # fast-forward on vs off, plus telemetry-bus overhead; refreshes the
-# checked-in BENCH_simspeed.json.
+# checked-in BENCH_simspeed.json and appends a git-SHA-stamped row to
+# results/bench_history.jsonl (perf trajectory across commits).
 bench-simspeed:
 	$(PYTHON) benchmarks/bench_simspeed.py --obs --windows 8 --gate \
-		--output BENCH_simspeed.json
+		--history --output BENCH_simspeed.json
 
 # Full figure/table regeneration (writes under results/).
 bench:

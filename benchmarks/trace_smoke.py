@@ -1,0 +1,248 @@
+#!/usr/bin/env python
+"""CI smoke for end-to-end distributed tracing (``make trace-smoke``).
+
+Exercises the ISSUE 10 acceptance path with real processes sharing one
+``REPRO_TRACE_DIR`` spool directory:
+
+1. **Server leg.** Boot ``nda-repro serve``, submit a small fuzz
+   campaign carrying a client ``traceparent``, poll ``/v1/status`` and
+   ``nda-repro obs top`` while it runs, and wait for the result.  The
+   server process must spool causally linked ``submit`` →
+   ``queue.wait`` → ``job.execute`` spans continuing the client trace.
+2. **Coordinator + two external workers.** Run a sweep through the
+   worker-protocol backend with ``--no-spawn`` and attach two separate
+   ``nda-repro worker`` processes; the coordinator spools ``lease``
+   spans and each worker spools ``worker.execute`` spans joined to the
+   coordinator's trace across the socket frames.
+3. **Merge.** ``nda-repro obs trace merge`` stitches every spool into
+   one Perfetto trace that must pass ``validate_chrome_trace`` and
+   contain spans from the server, the coordinator, and both workers.
+
+Spool/queue directories are wiped at startup but kept afterwards so a
+CI failure can upload them for triage.
+"""
+
+import argparse
+import json
+import shutil
+import socket
+import subprocess
+import sys
+import time
+from pathlib import Path
+
+from repro.obs.perfetto import (
+    merge_span_spools,
+    read_span_spools,
+    validate_chrome_trace,
+)
+from repro.server import ServerClient, ServerError
+
+FUZZ = {"seeds": 2, "configs": ["ooo"], "max_cycles": 200_000}
+
+#: A fixed client trace context; the server's submit span must continue
+#: this trace rather than starting its own.
+CLIENT_TRACE_ID = "f0" * 16
+CLIENT_TRACEPARENT = "00-%s-%s-01" % (CLIENT_TRACE_ID, "aa" * 8)
+
+
+def free_port() -> int:
+    sock = socket.socket()
+    sock.bind(("127.0.0.1", 0))
+    port = sock.getsockname()[1]
+    sock.close()
+    return port
+
+
+def start_worker(port: int, coordinator, env, attempts: int = 60):
+    """Launch an external worker, retrying until the coordinator listens.
+
+    No TCP probe here on purpose: any bare connect would count as a
+    worker to the coordinator's degrade heuristics.  A worker that finds
+    nothing listening exits 1 immediately, so launch-and-check is the
+    non-intrusive readiness test.
+    """
+    for _ in range(attempts):
+        if coordinator.poll() is not None:
+            raise SystemExit("coordinator died before workers attached")
+        proc = subprocess.Popen(
+            [sys.executable, "-m", "repro.cli", "worker",
+             "--connect", "127.0.0.1:%d" % port],
+            env=env,
+        )
+        time.sleep(0.5)
+        if proc.poll() is None:
+            return proc
+    raise SystemExit("worker never connected to :%d" % port)
+
+
+def wait_healthy(client: ServerClient, proc, timeout: float = 30.0) -> None:
+    deadline = time.monotonic() + timeout
+    while time.monotonic() < deadline:
+        if proc.poll() is not None:
+            raise SystemExit("server process died during startup")
+        try:
+            client.health()
+            return
+        except ServerError:
+            time.sleep(0.2)
+    raise SystemExit("server not healthy after %.0fs" % timeout)
+
+
+def cli(*argv: str, env=None, timeout: float = 120.0):
+    return subprocess.run(
+        [sys.executable, "-m", "repro.cli"] + list(argv),
+        capture_output=True, text=True, timeout=timeout, env=env,
+    )
+
+
+def _server_leg(spool: str, queue_dir: str, cache_dir: str, env) -> None:
+    port = free_port()
+    proc = subprocess.Popen(
+        [sys.executable, "-m", "repro.cli", "serve", "--port", str(port),
+         "--queue-dir", queue_dir, "--cache-dir", cache_dir],
+        env=env,
+    )
+    base = "http://127.0.0.1:%d" % port
+    try:
+        client = ServerClient(base)
+        wait_healthy(client, proc)
+        print("[trace-smoke] server on %s" % base)
+
+        job = client.submit("fuzz", FUZZ, traceparent=CLIENT_TRACEPARENT)
+        print("[trace-smoke] submitted fuzz job %s (%s)"
+              % (job.id[:12], job.state))
+
+        status = client.status()
+        assert status["kind"] == "status", status
+        assert status["jobs"]["total"] >= 1, status["jobs"]
+        assert status["tracing"]["service"] == "server", status["tracing"]
+        print("[trace-smoke] /v1/status live: queue=%s" % status["queue"])
+
+        done = client.wait(job.id, timeout=300)
+        assert done.state == "done", "fuzz job ended %s: %s" % (
+            done.state, done.error)
+
+        top = cli("obs", "top", "--server", base, "--iterations", "1",
+                  env=env)
+        assert top.returncode == 0, top.stderr
+        assert "queue" in top.stdout, top.stdout
+        print("[trace-smoke] obs top rendered one snapshot")
+    finally:
+        proc.terminate()
+        proc.wait(timeout=10)
+
+    rows = read_span_spools(spool)
+    server_rows = [r for r in rows if r["service"] == "server"]
+    submits = [r for r in server_rows if r["name"] == "submit"]
+    assert submits, "server spooled no submit span"
+    submit = submits[0]
+    assert submit["trace_id"] == CLIENT_TRACE_ID, \
+        "submit span did not continue the client trace: %r" % submit
+    assert submit["parent_id"] == "aa" * 8, submit
+    for name in ("queue.wait", "job.execute"):
+        linked = [
+            r for r in server_rows
+            if r["name"] == name and r["trace_id"] == CLIENT_TRACE_ID
+        ]
+        assert linked, "no %s span on the client trace" % name
+    execute = next(
+        r for r in server_rows
+        if r["name"] == "job.execute" and r["trace_id"] == CLIENT_TRACE_ID
+    )
+    assert execute["parent_id"] == submit["span_id"], \
+        "job.execute not parented on the submit span"
+    campaign = [r for r in server_rows if r["name"] == "fuzz.campaign"]
+    assert campaign and campaign[0]["trace_id"] == CLIENT_TRACE_ID, \
+        "fuzz.campaign span missing from the client trace"
+    print("[trace-smoke] server spans causally linked: "
+          "submit -> queue.wait -> job.execute -> fuzz.campaign")
+
+
+def _worker_leg(spool: str, env) -> None:
+    port = free_port()
+    coordinator = subprocess.Popen(
+        [sys.executable, "-m", "repro.cli", "bench",
+         "--benchmarks", "exchange2", "--samples", "3",
+         "--warmup", "2000", "--measure", "8000",
+         "--jobs", "2", "--no-cache",
+         "--backend", "worker-protocol", "--no-spawn",
+         "--bind", "127.0.0.1:%d" % port],
+        env=env, stdout=subprocess.DEVNULL,
+    )
+    workers = []
+    try:
+        for _ in range(2):
+            workers.append(start_worker(port, coordinator, env))
+        rc = coordinator.wait(timeout=300)
+        assert rc == 0, "coordinator exited %d" % rc
+        for worker in workers:
+            assert worker.wait(timeout=30) == 0, "a worker exited nonzero"
+    finally:
+        for proc in [coordinator] + workers:
+            if proc.poll() is None:
+                proc.terminate()
+                proc.wait(timeout=10)
+
+    rows = read_span_spools(spool)
+    leases = [r for r in rows if r["name"] == "lease"]
+    assert leases, "coordinator spooled no lease spans"
+    coordinator_trace = leases[0]["trace_id"]
+    executes = [r for r in rows if r["name"] == "worker.execute"]
+    worker_pids = {r["pid"] for r in executes}
+    assert len(worker_pids) == 2, \
+        "expected spans from 2 worker processes, got pids %s" % worker_pids
+    assert all(r["trace_id"] == coordinator_trace for r in executes), \
+        "worker spans did not join the coordinator trace"
+    print("[trace-smoke] %d leases; %d worker.execute spans from "
+          "2 worker processes joined trace %s"
+          % (len(leases), len(executes), coordinator_trace[:12]))
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--spool-dir", default="results/traces-smoke/spans")
+    parser.add_argument("--queue-dir", default="results/queue-trace-smoke")
+    parser.add_argument("--cache-dir", default="results/.cache-trace-smoke")
+    args = parser.parse_args()
+
+    for stale in (args.spool_dir, args.queue_dir, args.cache_dir):
+        shutil.rmtree(stale, ignore_errors=True)
+    Path(args.spool_dir).mkdir(parents=True, exist_ok=True)
+
+    import os
+    env = dict(os.environ, REPRO_TRACE_DIR=args.spool_dir)
+
+    _server_leg(args.spool_dir, args.queue_dir, args.cache_dir, env)
+    _worker_leg(args.spool_dir, env)
+
+    # ---- Merge every spool into one validating Perfetto trace. ---- #
+    merged = str(Path(args.spool_dir).parent / "merged.json")
+    out = cli("obs", "trace", "merge", "--dir", args.spool_dir,
+              "--output", merged, env=env)
+    assert out.returncode == 0, out.stderr or out.stdout
+    print("[trace-smoke] %s" % out.stdout.strip().splitlines()[-1])
+
+    payload = json.loads(Path(merged).read_text())
+    problems = validate_chrome_trace(payload)
+    assert problems == [], "merged trace invalid: %s" % problems[:3]
+
+    summary = merge_span_spools(args.spool_dir, merged)
+    services = sorted(
+        {entry.split(":")[0] for entry in summary["processes"]}
+    )
+    workers = [p for p in summary["processes"] if p.startswith("worker:")]
+    assert services == ["cli", "server", "worker"], summary["processes"]
+    assert len(workers) == 2, summary["processes"]
+    assert summary["traces"] >= 2, summary  # server leg + coordinator leg
+    print("[trace-smoke] merged trace validates with spans from %d "
+          "processes: %s" % (
+              len(summary["processes"]), ", ".join(summary["processes"]),
+          ))
+
+    print("trace-smoke OK")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -98,7 +98,18 @@ def simulate(
             program, config, direction_predictor=direction_predictor,
             fast_forward=fast_forward,
         )
-    outcome = core.run(max_cycles=_budget(max_cycles, in_order))
+    from repro.obs.spans import maybe_tracer
+    tracer = maybe_tracer()
+    if tracer is None:
+        outcome = core.run(max_cycles=_budget(max_cycles, in_order))
+    else:
+        with tracer.span(
+            "simulate",
+            attrs={"program": program.name or "",
+                   "in_order": bool(in_order)},
+        ) as span:
+            outcome = core.run(max_cycles=_budget(max_cycles, in_order))
+            span.attrs["cycles"] = outcome.stats.cycles
     if manifest:
         _write_run_manifest(core.config, program.name or "", outcome.stats)
     return outcome

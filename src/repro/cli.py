@@ -22,6 +22,8 @@ Subcommands::
     nda-repro submit sweep mcf --config strict --wait # job via the server
     nda-repro submit attack spectre_v1_cache --wait
     nda-repro obs trace spectre_v1 --config strict   # Perfetto export
+    nda-repro obs trace merge --dir results/traces/spans  # stitch spools
+    nda-repro obs top --server http://127.0.0.1:8765  # live observatory
     nda-repro obs metrics                    # render latest metric snapshot
     nda-repro obs manifest list              # run provenance records
     nda-repro obs export --benchmarks mcf    # engine job-span trace
@@ -263,6 +265,12 @@ def _build_parser() -> argparse.ArgumentParser:
         help="hard-fail (exit 1) if the fast engine is under 2x the "
              "reference on mcf/ooo (stepping path)",
     )
+    simspeed.add_argument(
+        "--history", action="store_true",
+        help="append a timestamped git-SHA-stamped row to "
+             "results/bench_history.jsonl and compare against the "
+             "previous row (perf trajectory across commits)",
+    )
 
     config_cmd = sub.add_parser(
         "config", help="describe one named configuration, or list them all"
@@ -457,12 +465,20 @@ def _build_parser() -> argparse.ArgumentParser:
     obs_trace = obs_sub.add_parser(
         "trace",
         help="run one target under the event bus and export a "
-             "Chrome/Perfetto trace (open at ui.perfetto.dev)",
+             "Chrome/Perfetto trace (open at ui.perfetto.dev); "
+             "`obs trace merge` stitches distributed span spools "
+             "instead",
     )
     obs_trace.add_argument(
         "target", metavar="TARGET",
-        help="an attack name (e.g. spectre_v1), a micro-kernel, or a "
-             "workload profile",
+        help="an attack name (e.g. spectre_v1), a micro-kernel, a "
+             "workload profile, or the word 'merge' to stitch span "
+             "spools from a traced distributed run",
+    )
+    obs_trace.add_argument(
+        "--dir", dest="spool_dir", default=None, metavar="DIR",
+        help="merge only: span spool directory (default: "
+             "$REPRO_TRACE_DIR, else results/traces/spans)",
     )
     obs_trace.add_argument(
         "--config", default="strict", choices=_CONFIG_NAMES,
@@ -499,6 +515,24 @@ def _build_parser() -> argparse.ArgumentParser:
         help="manifest file (default: the latest one)",
     )
 
+    obs_top = obs_sub.add_parser(
+        "top",
+        help="poll a running job server's /v1/status and print live "
+             "campaign progress (queue depth, workers, cache, latency)",
+    )
+    obs_top.add_argument(
+        "--server", default="http://127.0.0.1:8765", metavar="URL"
+    )
+    obs_top.add_argument("--token", default=None)
+    obs_top.add_argument(
+        "--interval", type=float, default=2.0, metavar="SECONDS",
+        help="seconds between polls (default: 2)",
+    )
+    obs_top.add_argument(
+        "--iterations", type=int, default=0, metavar="N",
+        help="stop after N polls (default: 0 = until interrupted)",
+    )
+
     obs_export = obs_sub.add_parser(
         "export",
         help="run a small sweep with job-span collection and export the "
@@ -519,9 +553,34 @@ def _build_parser() -> argparse.ArgumentParser:
     return parser
 
 
+#: Commands that get a root trace span when REPRO_TRACE_DIR is set —
+#: the entry points named by DESIGN.md §3.10's propagation contract.
+_TRACED_COMMANDS = frozenset({
+    "run", "attack", "matrix", "bench", "bench-simspeed", "figure",
+    "fuzz", "submit",
+})
+
+
 def main(argv: Optional[List[str]] = None) -> int:
     args = _build_parser().parse_args(argv)
+    from repro.obs.spans import maybe_tracer
+    # Untraced commands must not claim the process tracer: `serve` and
+    # `worker` create their own service-named tracers on first use.
+    if args.command not in _TRACED_COMMANDS:
+        return _run_command(args)
+    tracer = maybe_tracer("cli")
+    if tracer is None:
+        return _run_command(args)
+    with tracer.span(
+        "cli." + args.command,
+        attrs={"argv": " ".join(argv if argv is not None else sys.argv[1:])},
+    ) as span:
+        code = _run_command(args)
+        span.attrs["exit_code"] = code
+        return code
 
+
+def _run_command(args) -> int:
     if args.command == "table3":
         print(render_table3())
         return 0
@@ -713,6 +772,13 @@ def main(argv: Optional[List[str]] = None) -> int:
             baseline = json_mod.loads(Path(args.baseline).read_text())
             for line in simspeed_mod.compare_simspeed(payload, baseline):
                 print(line)
+        if args.history:
+            for line in simspeed_mod.compare_history(payload):
+                print(line)
+            entry = simspeed_mod.append_history(payload)
+            print("history: appended %s (%s) to %s"
+                  % (entry["git_revision"][:12] or "no-git",
+                     entry["recorded"], simspeed_mod.HISTORY_PATH))
         if args.gate:
             failures = simspeed_mod.gate_simspeed(payload)
             for line in failures:
@@ -788,8 +854,16 @@ def main(argv: Optional[List[str]] = None) -> int:
         if args.spec:
             spec.update(json_mod.loads(args.spec))
         client = ServerClient(args.server, token=args.token)
+        # Forward the CLI's root span so the server's submit/queue/
+        # execute spans land in the same trace.
+        from repro.obs.spans import maybe_tracer
+        tracer = maybe_tracer("cli")
+        current = tracer.current() if tracer is not None else None
         try:
-            job = client.submit(args.kind, spec, priority=args.priority)
+            job = client.submit(
+                args.kind, spec, priority=args.priority,
+                traceparent=current.traceparent() if current else None,
+            )
             if args.wait:
                 job = client.wait(job.id, timeout=args.timeout)
                 if job.state == "failed":
@@ -861,6 +935,32 @@ def _obs(args) -> int:
         write_chrome_trace,
         write_manifest,
     )
+
+    if args.obs_command == "trace" and args.target == "merge":
+        from repro.obs import merge_span_spools
+        directory = (
+            args.spool_dir
+            or os.environ.get("REPRO_TRACE_DIR")
+            or os.path.join("results", "traces", "spans")
+        )
+        output = args.output or os.path.join(
+            "results", "traces", "merged.json"
+        )
+        summary = merge_span_spools(directory, output)
+        if not summary["spans"]:
+            print("no span spools under %s (run the campaign with "
+                  "REPRO_TRACE_DIR=%s first)" % (directory, directory))
+            return 2
+        print("merged %d spans across %d traces from %d processes (%s)"
+              % (summary["spans"], summary["traces"],
+                 len(summary["processes"]),
+                 ", ".join(summary["processes"])))
+        print("trace: %s  (open at https://ui.perfetto.dev)"
+              % summary["path"])
+        return 0
+
+    if args.obs_command == "top":
+        return _obs_top(args)
 
     if args.obs_command == "trace":
         from repro.core.inorder import InOrderCore
@@ -979,6 +1079,88 @@ def _obs(args) -> int:
         return 0
 
     return 2
+
+
+def _obs_top(args) -> int:
+    """Poll ``GET /v1/status`` and print a live observatory summary."""
+    import time as time_mod
+
+    from repro.server import ServerClient, ServerError
+
+    client = ServerClient(args.server, token=args.token)
+    polls = 0
+    while True:
+        try:
+            status = client.status()
+        except ServerError as err:
+            print("server error [%d %s]: %s"
+                  % (err.status, err.code, err), file=sys.stderr)
+            return 1
+        polls += 1
+        print(_render_top(status, args.server))
+        if args.iterations and polls >= args.iterations:
+            return 0
+        try:
+            time_mod.sleep(max(0.1, args.interval))
+        except KeyboardInterrupt:
+            print()
+            return 0
+
+
+def _render_top(status: dict, server: str) -> str:
+    """One poll of /v1/status as a compact multi-line block."""
+    import time as time_mod
+
+    lines = ["-- %s  %s" % (server, time_mod.strftime("%H:%M:%S"))]
+    queue = status.get("queue", {})
+    lines.append(
+        "queue    " + "  ".join(
+            "%s=%d" % (state, queue.get(state, 0))
+            for state in ("queued", "running", "done", "failed")
+        )
+    )
+    jobs = status.get("jobs", {})
+    for kind, counts in sorted((jobs.get("by_kind") or {}).items()):
+        lines.append(
+            "  %-7s %d done / %d running / %d queued / %d failed"
+            " (%d cached)"
+            % (kind, counts.get("done", 0), counts.get("running", 0),
+               counts.get("queued", 0), counts.get("failed", 0),
+               counts.get("cached", 0))
+        )
+    for job in status.get("running") or []:
+        lines.append("  > %s %s attempt %d, %.1fs"
+                     % (job.get("id"), job.get("kind"),
+                        job.get("attempt", 0),
+                        job.get("running_seconds", 0.0)))
+    workers = status.get("workers", {})
+    lines.append("workers  threads=%d executed=%d"
+                 % (workers.get("threads", 0), workers.get("executed", 0)))
+    for name, lease in sorted((workers.get("leases") or {}).items()):
+        lines.append("  lease  %-18s %d leases, %.0fms busy, %d errors"
+                     % (name, lease.get("leases", 0),
+                        lease.get("busy_ms", 0.0), lease.get("errors", 0)))
+    cache = status.get("cache")
+    if cache:
+        lines.append(
+            "cache    hits=%d misses=%d stores=%d errors=%d"
+            " (hit rate %.1f%%)"
+            % (cache.get("hits", 0), cache.get("misses", 0),
+               cache.get("stores", 0), cache.get("errors", 0),
+               100.0 * cache.get("hit_rate", 0.0))
+        )
+    latency = status.get("latency", {})
+    parts = []
+    for label, key in (("queue-wait", "queue_wait"), ("execute", "execute")):
+        summary = latency.get(key) or {}
+        if summary.get("count"):
+            parts.append("%s p50=%.0fms p95=%.0fms (n=%d)"
+                         % (label, summary.get("p50_ms", 0.0),
+                            summary.get("p95_ms", 0.0),
+                            summary.get("count", 0)))
+    if parts:
+        lines.append("latency  " + "   ".join(parts))
+    return "\n".join(lines)
 
 
 def _fuzz(args) -> int:

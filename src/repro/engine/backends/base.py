@@ -54,6 +54,11 @@ class BackendContext:
     requested_jobs: Optional[int] = None
     #: Test seam for the local pool (ProcessPoolExecutor-compatible).
     executor_factory: Optional[Callable] = None
+    #: Traceparent of the driver's ``engine.run`` span (``None`` when
+    #: tracing is detached).  Backends that cross a process boundary
+    #: forward it — the worker protocol puts it in every job frame so
+    #: remote workers parent their spans under the submitting trace.
+    traceparent: Optional[str] = None
 
 
 class ExecutionBackend:

@@ -46,6 +46,8 @@ from typing import List, Optional, Tuple
 from repro.engine.backends.base import BackendContext, ExecutionBackend
 from repro.engine.jobs import execute_job
 from repro.engine.retry import LEASE_RETRY, RetryPolicy
+from repro.obs.log import get_logger
+from repro.obs.spans import maybe_tracer, parse_traceparent
 
 _FRAME = struct.Struct(">I")
 
@@ -263,10 +265,15 @@ class WorkerProtocolBackend(ExecutionBackend):
     def _handle_worker(self, conn: socket.socket) -> None:
         """One connected worker: serve its pull loop until it leaves."""
         leased: Optional[Tuple[int, object, int]] = None
+        tracer = maybe_tracer()
+        worker_tag = "?"
         try:
             hello = recv_msg(conn)
             if not hello or hello.get("type") != "hello":
                 return
+            worker_tag = "%s:%s" % (
+                hello.get("host", "?"), hello.get("pid", "?"),
+            )
             while not self._closing.is_set():
                 msg = recv_msg(conn)
                 if msg is None or msg.get("type") == "bye":
@@ -282,26 +289,44 @@ class WorkerProtocolBackend(ExecutionBackend):
                     return
                 index, job, attempts = item
                 leased = item
+                lease_start = time.time()
                 try:
                     send_msg(conn, {"type": "job", "index": index,
-                                    "job": job})
+                                    "job": job,
+                                    "traceparent": self._ctx.traceparent})
                     reply = recv_msg(conn)
                 except OSError:
                     reply = None
                 if reply is None:
                     # Connection died with the job out: put it back.
+                    self._lease_span(
+                        tracer, lease_start, index, attempts,
+                        worker_tag, "lost",
+                    )
                     self._requeue(index, job, attempts)
                     leased = None
                     return
                 leased = None
                 kind = reply.get("type")
                 if kind == "result":
+                    self._lease_span(
+                        tracer, lease_start, index, attempts,
+                        worker_tag, "ok",
+                    )
                     self._complete(index, reply.get("result"))
                 elif kind == "error":
                     # The job raised on the worker: the engine's
                     # historical rule is one serial retry in the driver.
+                    self._lease_span(
+                        tracer, lease_start, index, attempts,
+                        worker_tag, "error",
+                    )
                     self._to_serial(index, job)
                 else:
+                    self._lease_span(
+                        tracer, lease_start, index, attempts,
+                        worker_tag, "requeued",
+                    )
                     self._requeue(index, job, attempts)
         finally:
             if leased is not None:
@@ -312,6 +337,26 @@ class WorkerProtocolBackend(ExecutionBackend):
                 pass
             with self._lock:
                 self._live_conns -= 1
+
+    def _lease_span(
+        self,
+        tracer,
+        start: float,
+        index: int,
+        attempts: int,
+        worker_tag: str,
+        status: str,
+    ) -> None:
+        """Retroactive span for one lease round-trip (no-op detached)."""
+        if tracer is None:
+            return
+        tracer.record(
+            "lease", start, time.time(),
+            parent=self._ctx.traceparent,
+            status="ok" if status == "ok" else status,
+            attrs={"index": index, "attempts": attempts,
+                   "worker": worker_tag},
+        )
 
     def _next_lease(self) -> Optional[Tuple[int, object, int]]:
         """Pop the next job still worth running, registering its lease."""
@@ -410,6 +455,10 @@ class WorkerProtocolBackend(ExecutionBackend):
 
     def _degrade(self, ctx: BackendContext) -> None:
         """Run everything still open serially in the driver."""
+        get_logger("coordinator").warning(
+            "backend.degrade", backend=self.name,
+            address="%s:%d" % self.address if self.address else None,
+        )
         ctx.stats.degraded = True
         self._closing.set()
         while True:
@@ -453,11 +502,16 @@ def parse_address(address: str) -> Tuple[str, int]:
 
 def _worker_loop(host: str, port: int, timeout: float = 30.0) -> int:
     """One pull-execute-return loop against a coordinator."""
+    log = get_logger("worker")
+    tracer = maybe_tracer("worker")
     try:
         sock = socket.create_connection((host, port), timeout=timeout)
     except OSError:
+        log.error("worker.connect_failed", address="%s:%d" % (host, port))
         return 1
     sock.settimeout(None)  # job lengths are unbounded; block freely
+    log.info("worker.connected", address="%s:%d" % (host, port),
+             pid=os.getpid())
     try:
         send_msg(sock, {
             "type": "hello",
@@ -468,27 +522,63 @@ def _worker_loop(host: str, port: int, timeout: float = 30.0) -> int:
             send_msg(sock, {"type": "ready"})
             msg = recv_msg(sock)
             if msg is None or msg.get("type") == "shutdown":
+                log.info("worker.shutdown", pid=os.getpid())
                 return 0
             if msg.get("type") != "job":
                 continue
             index = msg.get("index")
+            # The traceparent rode the job frame across the socket: this
+            # worker's execute span joins the submitting client's trace.
+            parent = parse_traceparent(msg.get("traceparent"))
+            span = None
+            if tracer is not None:
+                span = tracer.start_span(
+                    "worker.execute", parent=parent,
+                    attrs={"index": index,
+                           "job": _describe_job(msg.get("job"))},
+                )
             try:
                 result = execute_job(msg["job"])
             except BaseException as error:
+                if span is not None:
+                    span.attrs["error"] = repr(error)
+                    span.end(status="error")
+                log.error(
+                    "worker.job_failed", index=index, error=repr(error),
+                    trace_id=parent.trace_id if parent else None,
+                )
                 send_msg(sock, {
                     "type": "error", "index": index, "error": repr(error),
                 })
             else:
+                if span is not None:
+                    span.end()
+                log.info(
+                    "worker.job_done", index=index,
+                    elapsed=round(result.elapsed, 4),
+                    trace_id=parent.trace_id if parent else None,
+                )
                 send_msg(sock, {
                     "type": "result", "index": index, "result": result,
                 })
     except OSError:
+        log.error("worker.connection_lost", pid=os.getpid())
         return 1
     finally:
         try:
             sock.close()
         except OSError:
             pass
+
+
+def _describe_job(job) -> str:
+    describe = getattr(job, "describe", None)
+    if callable(describe):
+        try:
+            return describe()
+        except Exception:
+            pass
+    return type(job).__name__
 
 
 def worker_main(

@@ -45,6 +45,7 @@ from repro.engine.backends import (
 )
 from repro.engine.jobs import JobResult, SimJob, execute_job
 from repro.engine.store import ResultStore
+from repro.obs.spans import maybe_tracer
 
 #: progress callback: (jobs finished so far, total jobs, latest result).
 ProgressFn = Callable[[int, int, JobResult], None]
@@ -148,6 +149,18 @@ def run_jobs(
     """
     start_wall = time.perf_counter()
     stats = EngineStats(jobs=len(jobs_list))
+    # Distributed tracing (no-op when detached): one engine.run span for
+    # the whole call, retroactive per-job queue/execute/cache-hit spans
+    # from the same timestamps the job trace uses.  perf_counter times
+    # convert to unix through one offset captured here.
+    tracer = maybe_tracer()
+    run_span = None
+    unix_offset = 0.0
+    if tracer is not None:
+        unix_offset = time.time() - time.perf_counter()
+        run_span = tracer.start_span(
+            "engine.run", attrs={"jobs": len(jobs_list)},
+        )
     slots: List[Optional[JobResult]] = [None] * len(jobs_list)
     failures: List[JobFailure] = []
     done_count = 0
@@ -204,6 +217,33 @@ def run_jobs(
                     "from_cache": result.from_cache,
                     "retried": result.retried,
                 })
+            if tracer is not None:
+                now = time.perf_counter()
+                submit = submit_times.get(index, start_wall) + unix_offset
+                t_start = (result.t_start or 0) + unix_offset \
+                    if result.t_start else submit
+                t_end = (result.t_end or 0) + unix_offset \
+                    if result.t_end else now + unix_offset
+                attrs = {"job": result.job.describe()}
+                if result.from_cache:
+                    tracer.record(
+                        "engine.cache.hit", t_end, t_end,
+                        parent=run_span, attrs=attrs,
+                    )
+                else:
+                    if result.retried:
+                        attrs["retried"] = True
+                    if result.resumed:
+                        attrs["resumed"] = True
+                    elif t_start > submit:
+                        tracer.record(
+                            "engine.queue", submit, t_start,
+                            parent=run_span, attrs=attrs,
+                        )
+                    tracer.record(
+                        "engine.execute", t_start, t_end,
+                        parent=run_span, attrs=attrs,
+                    )
             if result.resumed:
                 stats.resumed += 1
             elif not result.from_cache:
@@ -223,6 +263,14 @@ def run_jobs(
             done_count += 1
             failures.append(JobFailure(job=job, error=repr(error)))
             stats.failures += 1
+            if tracer is not None:
+                now_unix = time.time()
+                submit = submit_times.get(index, start_wall) + unix_offset
+                tracer.record(
+                    "engine.execute", min(submit, now_unix), now_unix,
+                    parent=run_span, status="error",
+                    attrs={"job": job.describe(), "error": repr(error)},
+                )
             maybe_checkpoint()
             if progress is not None:
                 progress(done_count, len(jobs_list), None)
@@ -296,6 +344,9 @@ def run_jobs(
             workers=workers,
             requested_jobs=jobs,
             executor_factory=executor_factory,
+            traceparent=(
+                run_span.traceparent() if run_span is not None else None
+            ),
         )
         backend_obj.run(pending, context)
 
@@ -305,4 +356,14 @@ def run_jobs(
         stats.stores = cache.stats.stores
     stats.wall_seconds = time.perf_counter() - start_wall
     results = [slot for slot in slots if slot is not None]
+    if run_span is not None:
+        run_span.attrs.update({
+            "backend": stats.backend,
+            "workers": stats.workers,
+            "executed": stats.executed,
+            "cache_hits": stats.cache_hits,
+            "resumed": stats.resumed,
+            "failures": stats.failures,
+        })
+        run_span.end(status="error" if failures else "ok")
     return results, failures, stats

@@ -400,12 +400,16 @@ def _execute_jobs_lockstep(fuzz_jobs, windows: int, progress=None):
     from repro.fuzz.taint import TaintOracle
     from repro.harness.multiwindow import run_cores_lockstep
 
+    from repro.obs.spans import maybe_tracer
+
+    tracer = maybe_tracer()
     start_wall = _time.perf_counter()
     total = len(fuzz_jobs)
     registry = config_registry()
     results, failures = [], []
     for base in range(0, len(fuzz_jobs), windows):
         batch = fuzz_jobs[base:base + windows]
+        batch_start_unix = _time.time()
         try:
             fps = [
                 generate(job.seed, template=job.template) for job in batch
@@ -446,6 +450,20 @@ def _execute_jobs_lockstep(fuzz_jobs, windows: int, progress=None):
                     elapsed=outcome.stats.sim_wall_seconds,
                 )
                 results.append(result)
+                if tracer is not None:
+                    # Lockstep batches interleave their seeds, so the
+                    # span is a retroactive batch-wide interval tagged
+                    # with the seed's own outcome.
+                    tracer.record(
+                        "fuzz.seed", batch_start_unix, _time.time(),
+                        attrs={
+                            "seed": job.seed,
+                            "config": job.config_name,
+                            "template": fp.template,
+                            "witnesses": len(run.witnesses),
+                            "cycles": run.cycles,
+                        },
+                    )
                 if progress is not None:
                     progress(len(results) + len(failures), total, result)
         except Exception:
@@ -558,18 +576,32 @@ def run_campaign(
             for seed in seeds
             for name in names
         ]
-    if windows > 1:
-        results, failures, stats = _execute_jobs_lockstep(
-            fuzz_jobs, windows, progress=progress,
-        )
-    else:
+    def _execute():
+        if windows > 1:
+            return _execute_jobs_lockstep(
+                fuzz_jobs, windows, progress=progress,
+            )
         _register_checkpoint_codec()
-        results, failures, stats = run_jobs(
+        return run_jobs(
             fuzz_jobs, jobs=jobs, cache=None, progress=progress,
             backend=backend, backend_options=backend_options,
             checkpoint=checkpoint, checkpoint_interval=checkpoint_interval,
             checkpoint_label="fuzz", resume=resume,
         )
+
+    from repro.obs.spans import maybe_tracer
+
+    tracer = maybe_tracer()
+    if tracer is None:
+        results, failures, stats = _execute()
+    else:
+        with tracer.span(
+            "fuzz.campaign",
+            attrs={"runs": len(fuzz_jobs), "configs": len(names),
+                   "smt": bool(smt), "windows": windows},
+        ) as span:
+            results, failures, stats = _execute()
+            span.attrs["failures"] = len(failures)
 
     campaign = CampaignResult(engine=stats)
     for job_result in results:

@@ -40,6 +40,7 @@ from repro.core import make_core
 from repro.core.inorder import InOrderCore
 from repro.core.outcome import RunOutcome
 from repro.errors import ConfigError, SimulationError
+from repro.obs.spans import maybe_tracer
 from repro.stats.counters import PipelineStats
 from repro.workloads.generator import spec_program
 
@@ -170,6 +171,12 @@ def run_windows(
         states.append(_WindowState(core=core, task=task))
     out.setup_seconds = time.perf_counter() - setup_start
 
+    # Per-window spans are retroactive records (the windows interleave,
+    # so live start/stop nesting would misrepresent them); detached runs
+    # skip every tracer branch, keeping the stepped loop untouched.
+    tracer = maybe_tracer()
+    batch_start_unix = time.time()
+
     run_start = time.perf_counter()
     remaining = len(states)
     while remaining:
@@ -207,6 +214,16 @@ def run_windows(
                 ):
                     _finish_window(state)
                     remaining -= 1
+                    if tracer is not None:
+                        tracer.record(
+                            "window", batch_start_unix, time.time(),
+                            attrs={
+                                "benchmark": task.benchmark,
+                                "seed": task.seed,
+                                "cycles": state.result.cycles,
+                                "committed": state.result.committed,
+                            },
+                        )
                     if progress is not None:
                         progress(state.result)
     out.run_seconds = time.perf_counter() - run_start

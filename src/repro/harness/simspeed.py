@@ -32,6 +32,7 @@ dump of one row for regression triage.
 
 from __future__ import annotations
 
+import json
 import platform
 import time
 from dataclasses import replace
@@ -205,9 +206,10 @@ def measure_multiwindow(
     }
 
 
-def _one_obs_run(program, config, attach_bus: bool, sample_interval: int):
+def _one_obs_run(program, config, attach_bus: bool, sample_interval: int,
+                 tracer=None):
     """One timed core run, optionally with an attached telemetry bus
-    (and a metrics sampler on it)."""
+    (and a metrics sampler on it) and/or a run span on *tracer*."""
     from repro.core.ooo import OutOfOrderCore
 
     core = OutOfOrderCore(program, config)
@@ -219,7 +221,12 @@ def _one_obs_run(program, config, attach_bus: bool, sample_interval: int):
         if sample_interval:
             sampler = bus.add_sampler(MetricsSampler(sample_interval))
     start = time.perf_counter()
-    result = core.run()
+    if tracer is not None:
+        with tracer.span("simspeed.run",
+                         attrs={"program": program.name or ""}):
+            result = core.run()
+    else:
+        result = core.run()
     elapsed = time.perf_counter() - start
     return elapsed, result, len(sampler.rows) if sampler is not None else 0
 
@@ -234,14 +241,21 @@ def measure_obs_overhead(
 ) -> Dict[str, object]:
     """Cost of the telemetry layer on one (workload, config) pair.
 
-    Three timed variants of the same run: no bus at all (**detached** —
+    Four timed variants of the same run: no bus at all (**detached** —
     every observer slot is None), a bus attached with no subscribers
-    (every per-event attribute still None), and a bus with a periodic
-    metrics sampler.  All three must be bit-identical; the overhead
-    contract (DESIGN.md §3.5) is ~0% for the first two and <10% with
-    sampling enabled.  Measured on the reference engine (the telemetry
-    bus's hook-elision contract is defined against it).
+    (every per-event attribute still None), a bus with a periodic
+    metrics sampler, and a run under an installed span tracer spooling
+    to a scratch directory (the distributed-tracing attach cost — one
+    span + one JSONL append per run).  All four must be bit-identical;
+    the overhead contract (DESIGN.md §3.5/§3.10) is ~0% for the first
+    two and <10% with sampling or tracing enabled.  Measured on the
+    reference engine (the telemetry bus's hook-elision contract is
+    defined against it).
     """
+    import tempfile
+
+    from repro.obs.spans import Tracer, install_tracer, uninstall_tracer
+
     spec = config_registry()[config_name]
     if spec.in_order:
         raise ValueError(
@@ -251,30 +265,42 @@ def measure_obs_overhead(
     program = spec_program(workload, instructions=instructions, seed=seed)
     # Variants are interleaved within each repeat (not run as sequential
     # blocks) so slow host drift — thermal, cache, scheduler — biases all
-    # three equally instead of whichever block ran last.
+    # variants equally instead of whichever block ran last.
     variants = {
-        "detached": (False, 0),
-        "attached-idle": (True, 0),
-        "sampling": (True, sample_interval),
+        "detached": (False, 0, False),
+        "attached-idle": (True, 0, False),
+        "sampling": (True, sample_interval, False),
+        "tracing": (False, 0, True),
     }
     best: Dict[str, float] = {}
     outcomes: Dict[str, object] = {}
     samples = 0
-    for _ in range(max(repeats, 3)):
-        for name, (attach_bus, interval) in variants.items():
-            elapsed, result, rows = _one_obs_run(
-                program, spec.config, attach_bus, interval
-            )
-            if name not in best or elapsed < best[name]:
-                best[name] = elapsed
-                outcomes[name] = result
-                if name == "sampling":
-                    samples = rows
+    with tempfile.TemporaryDirectory() as spool_dir:
+        for _ in range(max(repeats, 3)):
+            for name, (attach_bus, interval, traced) in variants.items():
+                tracer = None
+                if traced:
+                    tracer = Tracer("simspeed", spool_dir=spool_dir)
+                    install_tracer(tracer)
+                try:
+                    elapsed, result, rows = _one_obs_run(
+                        program, spec.config, attach_bus, interval,
+                        tracer=tracer,
+                    )
+                finally:
+                    if traced:
+                        uninstall_tracer()
+                if name not in best or elapsed < best[name]:
+                    best[name] = elapsed
+                    outcomes[name] = result
+                    if name == "sampling":
+                        samples = rows
     wall_off = best["detached"]
     wall_idle = best["attached-idle"]
     wall_sampled = best["sampling"]
+    wall_traced = best["tracing"]
     base = outcomes["detached"]
-    for variant in ("attached-idle", "sampling"):
+    for variant in ("attached-idle", "sampling", "tracing"):
         _check_identical(
             "telemetry variant %r on %s/%s" % (
                 variant, workload, config_name,
@@ -290,11 +316,15 @@ def measure_obs_overhead(
         "wall_seconds_detached": wall_off,
         "wall_seconds_attached_idle": wall_idle,
         "wall_seconds_sampling": wall_sampled,
+        "wall_seconds_tracing": wall_traced,
         "overhead_attached_idle": (
             wall_idle / wall_off - 1.0 if wall_off > 0 else 0.0
         ),
         "overhead_sampling": (
             wall_sampled / wall_off - 1.0 if wall_off > 0 else 0.0
+        ),
+        "overhead_tracing": (
+            wall_traced / wall_off - 1.0 if wall_off > 0 else 0.0
         ),
     }
 
@@ -418,11 +448,12 @@ def run_simspeed(
         if verbose:
             print(
                 "  obs overhead on %s/%s: %+.1f%% attached-idle, "
-                "%+.1f%% sampling (%d samples)" % (
+                "%+.1f%% sampling (%d samples), %+.1f%% tracing" % (
                     overhead["workload"], overhead["config"],
                     overhead["overhead_attached_idle"] * 100.0,
                     overhead["overhead_sampling"] * 100.0,
                     overhead["samples"],
+                    overhead["overhead_tracing"] * 100.0,
                 )
             )
     return payload
@@ -521,11 +552,13 @@ def render_simspeed(payload: Dict[str, object]) -> str:
     if obs:
         lines.append(
             "telemetry overhead (%s/%s, interval %d): "
-            "%+.1f%% attached-idle, %+.1f%% sampling (%d samples)" % (
+            "%+.1f%% attached-idle, %+.1f%% sampling (%d samples), "
+            "%+.1f%% tracing" % (
                 obs["workload"], obs["config"], obs["sample_interval"],
                 obs["overhead_attached_idle"] * 100.0,
                 obs["overhead_sampling"] * 100.0,
                 obs["samples"],
+                obs.get("overhead_tracing", 0.0) * 100.0,
             )
         )
     return "\n".join(lines)
@@ -633,3 +666,120 @@ def gate_simspeed(
             )
         )
     return failures
+
+
+# ---------------------------------------------------------------------- #
+# Perf trajectory: append-only bench history across commits.
+# ---------------------------------------------------------------------- #
+
+#: Append-only JSONL file ``--history`` writes one row per run to.
+HISTORY_PATH = "results/bench_history.jsonl"
+
+
+def _history_rates(payload: Dict[str, object]) -> Dict[str, float]:
+    """Flatten a simspeed payload to ``key -> cycles_per_sec``."""
+    rates: Dict[str, float] = {}
+    for case in payload.get("results", []):
+        key = "%s/%s/%s/w%d" % (
+            case.get("workload", "?"), case.get("config", "?"),
+            case.get("engine", "reference"), case.get("windows", 1),
+        )
+        rates[key] = round(float(case.get("cycles_per_sec", 0.0)), 1)
+    return rates
+
+
+def append_history(payload: Dict[str, object],
+                   path: str = HISTORY_PATH) -> Dict[str, object]:
+    """Append one timestamped, git-SHA-stamped row for *payload*.
+
+    The file is JSONL so rows from different commits accumulate without
+    merge conflicts; :func:`compare_history` reads the last row back.
+    Returns the entry written.
+    """
+    import datetime
+    from pathlib import Path
+
+    from repro.obs.manifest import git_revision
+
+    entry = {
+        "recorded": datetime.datetime.now(
+            datetime.timezone.utc
+        ).strftime("%Y-%m-%dT%H:%M:%SZ"),
+        "git_revision": git_revision(default=""),
+        "schema": payload.get("schema"),
+        "instructions": payload.get("instructions"),
+        "seed": payload.get("seed"),
+        "cycles_per_sec": _history_rates(payload),
+    }
+    target = Path(path)
+    target.parent.mkdir(parents=True, exist_ok=True)
+    with target.open("a") as handle:
+        handle.write(json.dumps(entry, sort_keys=True) + "\n")
+    return entry
+
+
+def load_history(path: str = HISTORY_PATH) -> List[Dict[str, object]]:
+    """Every parseable history row, oldest first (missing file: [])."""
+    from pathlib import Path
+
+    rows: List[Dict[str, object]] = []
+    try:
+        text = Path(path).read_text()
+    except OSError:
+        return rows
+    for line in text.splitlines():
+        line = line.strip()
+        if not line:
+            continue
+        try:
+            row = json.loads(line)
+        except ValueError:
+            continue
+        if isinstance(row, dict):
+            rows.append(row)
+    return rows
+
+
+def compare_history(payload: Dict[str, object],
+                    path: str = HISTORY_PATH,
+                    threshold: float = 0.25) -> List[str]:
+    """Human-readable drift report vs the last history row (warn-only).
+
+    Flags per-case throughput moves beyond *threshold* in either
+    direction; comparable only on the same host, so CI treats these as
+    annotations, not gates.
+    """
+    history = load_history(path)
+    if not history:
+        return ["history: no prior rows at %s (this run seeds it)" % path]
+    prev = history[-1]
+    lines = [
+        "history: comparing against %s (%s, %d prior rows)" % (
+            (prev.get("git_revision") or "no-git")[:12],
+            prev.get("recorded", "?"), len(history),
+        )
+    ]
+    prev_rates = prev.get("cycles_per_sec") or {}
+    for key, now_rate in sorted(_history_rates(payload).items()):
+        then_rate = prev_rates.get(key)
+        if not then_rate or not now_rate:
+            continue
+        ratio = now_rate / then_rate
+        if ratio < 1.0 - threshold:
+            lines.append(
+                "  WARNING %-36s %.0f -> %.0f kc/s (%.0f%% slower)" % (
+                    key, then_rate / 1e3, now_rate / 1e3,
+                    (1.0 - ratio) * 100.0,
+                )
+            )
+        elif ratio > 1.0 + threshold:
+            lines.append(
+                "  note    %-36s %.0f -> %.0f kc/s (%.0f%% faster)" % (
+                    key, then_rate / 1e3, now_rate / 1e3,
+                    (ratio - 1.0) * 100.0,
+                )
+            )
+    if len(lines) == 1:
+        lines.append("  all cases within %.0f%% of the previous row"
+                     % (threshold * 100.0))
+    return lines

@@ -13,10 +13,15 @@ loadable at https://ui.perfetto.dev or ``chrome://tracing``:
   :class:`~repro.obs.sampler.MetricsSampler` time series.
 * :func:`engine_trace_events` — queue-wait and execute spans for suite
   engine jobs (cache hits become instants).
+* :func:`merge_span_spools` — stitches the per-process distributed-trace
+  spools written by :mod:`repro.obs.spans` into one trace: each process
+  becomes a Perfetto process group, parent→child span links become flow
+  arrows, so a submit renders causally connected to the socket worker
+  that executed it three processes away.
 
 The convention throughout: **1 simulated cycle = 1 µs** of trace time
 (the format's ``ts``/``dur`` unit), so cycle counts read directly off
-the Perfetto ruler.  Engine spans use real microseconds.
+the Perfetto ruler.  Engine and distributed spans use real microseconds.
 """
 
 from __future__ import annotations
@@ -25,10 +30,14 @@ import json
 import os
 from typing import Dict, Iterable, List, Optional
 
+from repro.obs.spans import SPAN_SPOOL_SUFFIX
+
 #: pid used for simulated-pipeline tracks.
 PIPELINE_PID = 1
 #: pid used for suite-engine tracks.
 ENGINE_PID = 2
+#: first pid used for distributed-span process groups.
+SPAN_PID_BASE = 10
 
 _STAGES = (
     # (slice name, start attr, end attr)
@@ -234,6 +243,186 @@ def engine_trace_events(job_trace: Iterable[dict],
         })
     events.extend(_process_meta(pid, "suite engine"))
     return events
+
+
+def read_span_spools(directory: str) -> List[dict]:
+    """Load every ``*.spans.jsonl`` spool under *directory*.
+
+    Tolerant by design: unreadable files, blank lines, and malformed or
+    truncated rows (a worker killed mid-write) are skipped, never
+    raised.  Rows come back sorted by start time.
+    """
+    rows: List[dict] = []
+    if not os.path.isdir(directory):
+        return rows
+    for name in sorted(os.listdir(directory)):
+        if not name.endswith(SPAN_SPOOL_SUFFIX):
+            continue
+        try:
+            with open(os.path.join(directory, name)) as handle:
+                text = handle.read()
+        except OSError:
+            continue
+        for line in text.splitlines():
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                row = json.loads(line)
+            except ValueError:
+                continue
+            if (
+                isinstance(row, dict)
+                and isinstance(row.get("name"), str)
+                and isinstance(row.get("start_unix"), (int, float))
+                and isinstance(row.get("end_unix"), (int, float))
+            ):
+                rows.append(row)
+    rows.sort(key=lambda row: (
+        row["start_unix"], row["end_unix"], str(row.get("span_id") or ""),
+    ))
+    return rows
+
+
+def span_trace_events(
+    spans: Iterable[dict],
+    base_pid: int = SPAN_PID_BASE,
+    max_lanes: int = 64,
+) -> List[dict]:
+    """Trace events for distributed spans (:mod:`repro.obs.spans`).
+
+    Each emitting process ``(service, pid)`` becomes a Perfetto process
+    group; within a group, spans pack greedily into lanes like the
+    pipeline view.  Every span whose parent is present in the batch gets
+    a flow arrow from the parent slice to its own start, so the
+    submit → queue → lease → execute chain reads as connected arrows
+    across process groups.
+    """
+    rows = sorted(
+        (
+            row for row in spans
+            if isinstance(row.get("name"), str)
+            and isinstance(row.get("start_unix"), (int, float))
+            and isinstance(row.get("end_unix"), (int, float))
+        ),
+        key=lambda row: (
+            row["start_unix"], row["end_unix"],
+            str(row.get("span_id") or ""),
+        ),
+    )
+    if not rows:
+        return []
+    origin = min(row["start_unix"] for row in rows)
+
+    def usec(unix: float) -> int:
+        return int(round((unix - origin) * 1e6))
+
+    process_pids: Dict[tuple, int] = {}
+    lane_free_at: Dict[int, List[int]] = {}
+    placed: Dict[str, tuple] = {}
+    events: List[dict] = []
+    for row in rows:
+        proc = (str(row.get("service") or "?"), row.get("pid") or 0)
+        pid = process_pids.setdefault(proc, base_pid + len(process_pids))
+        lanes = lane_free_at.setdefault(pid, [])
+        start = usec(row["start_unix"])
+        dur = max(usec(row["end_unix"]) - start, 1)
+        tid = None
+        for lane, free_at in enumerate(lanes):
+            if free_at <= start:
+                tid = lane
+                break
+        if tid is None:
+            if len(lanes) < max_lanes:
+                lanes.append(0)
+                tid = len(lanes) - 1
+            else:
+                tid = min(range(len(lanes)), key=lanes.__getitem__)
+        lanes[tid] = start + dur + 1
+
+        status = str(row.get("status") or "ok")
+        args = {
+            "trace_id": row.get("trace_id"),
+            "span_id": row.get("span_id"),
+            "status": status,
+        }
+        if row.get("parent_id"):
+            args["parent_id"] = row["parent_id"]
+        attrs = row.get("attrs")
+        if isinstance(attrs, dict):
+            args.update(attrs)
+        name = row["name"]
+        if status != "ok":
+            name = "[%s] %s" % (status, name)
+        events.append({
+            "ph": "X", "pid": pid, "tid": tid, "name": name,
+            "cat": "spans," + row["name"], "ts": start, "dur": dur,
+            "args": args,
+        })
+        span_id = row.get("span_id")
+        if isinstance(span_id, str) and span_id:
+            placed[span_id] = (pid, tid, start, dur)
+
+    flow_id = 0
+    for row in rows:
+        parent_id = row.get("parent_id")
+        span_id = row.get("span_id")
+        if not parent_id or parent_id not in placed or span_id not in placed:
+            continue
+        p_pid, p_tid, p_ts, p_dur = placed[parent_id]
+        c_pid, c_tid, c_ts, _ = placed[span_id]
+        flow_id += 1
+        anchor = min(max(c_ts, p_ts), p_ts + p_dur)
+        events.append({
+            "ph": "s", "pid": p_pid, "tid": p_tid, "id": flow_id,
+            "name": row["name"], "cat": "spans,flow", "ts": anchor,
+        })
+        events.append({
+            "ph": "f", "pid": c_pid, "tid": c_tid, "bp": "e",
+            "id": flow_id, "name": row["name"], "cat": "spans,flow",
+            "ts": c_ts,
+        })
+
+    for (service, pid), perfetto_pid in process_pids.items():
+        events.extend(_process_meta(
+            perfetto_pid, "%s (pid %s)" % (service, pid),
+        ))
+    return events
+
+
+def merge_span_spools(
+    directory: str,
+    output: str,
+    metadata: Optional[Dict] = None,
+    base_pid: int = SPAN_PID_BASE,
+) -> dict:
+    """Merge every per-process span spool under *directory* into one
+    validated Chrome trace at *output*.
+
+    Returns a summary dict (``path``, ``spans``, ``traces``,
+    ``processes``) — what ``nda-repro obs trace merge`` prints.
+    """
+    rows = read_span_spools(directory)
+    events = span_trace_events(rows, base_pid=base_pid)
+    processes = sorted({
+        "%s:%s" % (row.get("service") or "?", row.get("pid") or 0)
+        for row in rows
+    })
+    summary = {
+        "path": output,
+        "spans": len(rows),
+        "traces": len({row.get("trace_id") for row in rows}),
+        "processes": processes,
+    }
+    meta = {
+        "span_spool_dir": os.path.abspath(directory),
+        "spans": len(rows),
+        "processes": processes,
+    }
+    if metadata:
+        meta.update(metadata)
+    write_chrome_trace(output, events, metadata=meta)
+    return summary
 
 
 def _process_meta(pid: int, name: str) -> List[dict]:

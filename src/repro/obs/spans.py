@@ -1,0 +1,441 @@
+"""Distributed trace spans: W3C-traceparent contexts across processes.
+
+Every entry point (``POST /v1/jobs``, CLI ``run``/``attack``/``fuzz``/
+``submit``, :func:`repro.api.simulate`) can open a **span** — a named
+interval with a 128-bit ``trace_id`` shared by everything one request
+caused, a 64-bit ``span_id``, an optional parent link, and free-form
+attributes.  The context crosses process boundaries as a standard
+traceparent string (``00-<trace_id>-<span_id>-01``): the server stores
+it on the durable :class:`~repro.server.queue.JobRecord`, the engine
+hands it to execution backends, and the worker protocol carries it
+inside the length-prefixed job frame, so an external ``nda-repro
+worker`` three hops away still tags its spans with the submitting
+client's trace id.
+
+Each process owns at most one :class:`Tracer`.  Finished spans land in
+two places:
+
+* a **flight recorder** — a bounded in-memory ring the job server reads
+  to derive ``GET /v1/status`` latency percentiles and the span
+  histograms on ``/metrics``; and
+* a **JSONL spool** — one append-only file per process under the trace
+  directory (``<service>-<pid>.spans.jsonl``), which
+  :func:`repro.obs.perfetto.merge_span_spools` stitches into a single
+  Perfetto trace after the run.
+
+Tracing follows the telemetry layer's no-op-when-detached contract
+(:mod:`repro.obs.bus`): with no tracer installed and ``REPRO_TRACE_DIR``
+unset, :func:`maybe_tracer` returns ``None`` and every instrumentation
+site reduces to one ``is None`` test — detached runs are bit-identical
+to the golden files, and the attached overhead is CI-gated next to the
+sampler's (``measure_obs_overhead`` grows a ``tracing`` variant).
+Activation is environment-driven precisely so spawned worker
+interpreters and external worker processes inherit it without any
+protocol change.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import threading
+import time
+from collections import deque
+from contextlib import contextmanager
+from typing import Dict, Iterable, List, Optional
+
+#: Schema version stamped on every spooled span row.
+SPAN_SCHEMA = 1
+
+#: Environment variable holding the spool directory; set = tracing on.
+TRACE_DIR_ENV = "REPRO_TRACE_DIR"
+#: Optional service-name override for the process tracer.
+TRACE_SERVICE_ENV = "REPRO_TRACE_SERVICE"
+
+#: Filename suffix of per-process span spools (see ``Tracer.spool_path``).
+SPAN_SPOOL_SUFFIX = ".spans.jsonl"
+
+#: Flight-recorder capacity (finished spans kept in memory).
+DEFAULT_RING_SIZE = 2048
+
+_TRACEPARENT_VERSION = "00"
+_TRACE_FLAGS = "01"
+
+
+def new_trace_id() -> str:
+    return os.urandom(16).hex()
+
+
+def new_span_id() -> str:
+    return os.urandom(8).hex()
+
+
+class SpanContext:
+    """An immutable ``(trace_id, span_id)`` pair.
+
+    Serializes to/from the W3C ``traceparent`` header format so the
+    context survives JSON job payloads, durable queue records, and
+    pickled worker frames without a custom wire format.
+    """
+
+    __slots__ = ("trace_id", "span_id")
+
+    def __init__(self, trace_id: str, span_id: str) -> None:
+        self.trace_id = trace_id
+        self.span_id = span_id
+
+    def traceparent(self) -> str:
+        return "%s-%s-%s-%s" % (
+            _TRACEPARENT_VERSION, self.trace_id, self.span_id, _TRACE_FLAGS,
+        )
+
+    def child(self) -> "SpanContext":
+        """A fresh span id under the same trace."""
+        return SpanContext(self.trace_id, new_span_id())
+
+    def __eq__(self, other) -> bool:
+        return (
+            isinstance(other, SpanContext)
+            and self.trace_id == other.trace_id
+            and self.span_id == other.span_id
+        )
+
+    def __hash__(self) -> int:
+        return hash((self.trace_id, self.span_id))
+
+    def __repr__(self) -> str:
+        return "SpanContext(%r)" % self.traceparent()
+
+
+def parse_traceparent(header) -> Optional[SpanContext]:
+    """Parse a traceparent string; ``None`` on anything malformed.
+
+    Lenient by design — a bad or missing header means "start a new
+    trace", never an error, so stale records and old clients keep
+    working.
+    """
+    if not isinstance(header, str):
+        return None
+    parts = header.strip().split("-")
+    if len(parts) != 4:
+        return None
+    version, trace_id, span_id = parts[0], parts[1], parts[2]
+    if len(version) != 2 or len(trace_id) != 32 or len(span_id) != 16:
+        return None
+    try:
+        int(version, 16), int(trace_id, 16), int(span_id, 16)
+    except ValueError:
+        return None
+    if trace_id == "0" * 32 or span_id == "0" * 16:
+        return None
+    return SpanContext(trace_id, span_id)
+
+
+class Span:
+    """One in-flight named interval; finalized through its tracer."""
+
+    __slots__ = (
+        "name", "trace_id", "span_id", "parent_id",
+        "start_unix", "attrs", "_tracer", "_finished",
+    )
+
+    def __init__(
+        self,
+        name: str,
+        trace_id: str,
+        span_id: str,
+        parent_id: Optional[str],
+        start_unix: float,
+        tracer: "Tracer",
+        attrs: Optional[Dict] = None,
+    ) -> None:
+        self.name = name
+        self.trace_id = trace_id
+        self.span_id = span_id
+        self.parent_id = parent_id
+        self.start_unix = start_unix
+        self.attrs = attrs if attrs is not None else {}
+        self._tracer = tracer
+        self._finished = False
+
+    @property
+    def context(self) -> SpanContext:
+        return SpanContext(self.trace_id, self.span_id)
+
+    def traceparent(self) -> str:
+        return self.context.traceparent()
+
+    def end(self, end: Optional[float] = None, status: str = "ok") -> None:
+        """Finalize once: into the ring buffer and (if spooling) disk."""
+        if self._finished:
+            return
+        self._finished = True
+        self._tracer._finish(self, end=end, status=status)
+
+
+class Tracer:
+    """Per-process span factory, flight recorder, and JSONL spool.
+
+    ``spool_dir=None`` keeps spans in memory only (the job server uses
+    this for its always-on status ring); a directory turns on the
+    per-process spool file that the Perfetto merger consumes.
+    """
+
+    def __init__(
+        self,
+        service: str = "repro",
+        spool_dir: Optional[str] = None,
+        ring_size: int = DEFAULT_RING_SIZE,
+    ) -> None:
+        self.service = str(service)
+        self.pid = os.getpid()
+        self.spool_dir = str(spool_dir) if spool_dir else None
+        self.spool_path: Optional[str] = None
+        if self.spool_dir is not None:
+            os.makedirs(self.spool_dir, exist_ok=True)
+            safe = "".join(
+                ch if ch.isalnum() or ch in "-_." else "-"
+                for ch in self.service
+            ) or "repro"
+            self.spool_path = os.path.join(
+                self.spool_dir, "%s-%d%s" % (safe, self.pid,
+                                             SPAN_SPOOL_SUFFIX),
+            )
+        self._ring: deque = deque(maxlen=ring_size)
+        self._lock = threading.Lock()
+        self._tls = threading.local()
+        self.finished_total = 0
+        self.spool_errors = 0
+
+    # ------------------------------------------------------------------ #
+    # Context resolution.
+    # ------------------------------------------------------------------ #
+
+    def current(self) -> Optional[SpanContext]:
+        """This thread's innermost active span context, if any."""
+        stack = getattr(self._tls, "stack", None)
+        return stack[-1] if stack else None
+
+    def _resolve_parent(self, parent) -> Optional[SpanContext]:
+        if parent is None:
+            return self.current()
+        if isinstance(parent, Span):
+            return parent.context
+        if isinstance(parent, SpanContext):
+            return parent
+        if isinstance(parent, str):
+            return parse_traceparent(parent)
+        return None
+
+    # ------------------------------------------------------------------ #
+    # Span creation.
+    # ------------------------------------------------------------------ #
+
+    def start_span(
+        self,
+        name: str,
+        parent=None,
+        attrs: Optional[Dict] = None,
+        start: Optional[float] = None,
+    ) -> Span:
+        """An unfinished span; *parent* accepts a Span, a SpanContext, a
+        traceparent string, or None (inherits the thread's current)."""
+        ctx = self._resolve_parent(parent)
+        return Span(
+            name=str(name),
+            trace_id=ctx.trace_id if ctx is not None else new_trace_id(),
+            span_id=new_span_id(),
+            parent_id=ctx.span_id if ctx is not None else None,
+            start_unix=time.time() if start is None else float(start),
+            tracer=self,
+            attrs=dict(attrs) if attrs else {},
+        )
+
+    @contextmanager
+    def span(self, name: str, parent=None, attrs: Optional[Dict] = None):
+        """Scoped span that becomes this thread's current context, so
+        nested instrumentation (engine inside a server job, windows
+        inside a campaign) parents itself automatically."""
+        sp = self.start_span(name, parent=parent, attrs=attrs)
+        stack = getattr(self._tls, "stack", None)
+        if stack is None:
+            stack = []
+            self._tls.stack = stack
+        stack.append(sp.context)
+        try:
+            yield sp
+        except BaseException:
+            stack.pop()
+            sp.end(status="error")
+            raise
+        stack.pop()
+        sp.end()
+
+    def record(
+        self,
+        name: str,
+        start: float,
+        end: float,
+        parent=None,
+        attrs: Optional[Dict] = None,
+        status: str = "ok",
+    ) -> dict:
+        """A retroactive finished span with explicit unix timestamps —
+        how queue-wait and lease intervals are reconstructed after the
+        fact."""
+        sp = self.start_span(name, parent=parent, attrs=attrs, start=start)
+        sp._finished = True
+        return self._finish(sp, end=end, status=status)
+
+    # ------------------------------------------------------------------ #
+    # Finalization + readback.
+    # ------------------------------------------------------------------ #
+
+    def _finish(self, span: Span, end: Optional[float], status: str) -> dict:
+        end_unix = time.time() if end is None else float(end)
+        if end_unix < span.start_unix:
+            end_unix = span.start_unix
+        row = {
+            "schema": SPAN_SCHEMA,
+            "name": span.name,
+            "trace_id": span.trace_id,
+            "span_id": span.span_id,
+            "parent_id": span.parent_id,
+            "service": self.service,
+            "pid": self.pid,
+            "start_unix": span.start_unix,
+            "end_unix": end_unix,
+            "status": status,
+        }
+        if span.attrs:
+            row["attrs"] = span.attrs
+        with self._lock:
+            self._ring.append(row)
+            self.finished_total += 1
+        if self.spool_path is not None:
+            try:
+                line = json.dumps(row, sort_keys=True)
+                with open(self.spool_path, "a") as handle:
+                    handle.write(line + "\n")
+            except (OSError, TypeError, ValueError):
+                with self._lock:
+                    self.spool_errors += 1
+        return row
+
+    def finished(self, name: Optional[str] = None) -> List[dict]:
+        """Flight-recorder contents (oldest first), optionally by name."""
+        with self._lock:
+            rows = list(self._ring)
+        if name is None:
+            return rows
+        return [row for row in rows if row["name"] == name]
+
+    def since(self, cursor: int):
+        """Spans finished after *cursor* (a prior ``finished_total``)
+        that are still in the ring; returns ``(new_cursor, rows)``.
+        The incremental read the server's histogram ingestion uses so a
+        repeated ``/metrics`` scrape never double-counts a span."""
+        with self._lock:
+            total = self.finished_total
+            fresh = total - int(cursor)
+            if fresh <= 0:
+                return total, []
+            rows = list(self._ring)
+            return total, rows[-min(fresh, len(rows)):]
+
+    def describe(self) -> dict:
+        return {
+            "service": self.service,
+            "pid": self.pid,
+            "spool": self.spool_path,
+            "finished": self.finished_total,
+            "spool_errors": self.spool_errors,
+        }
+
+
+# ---------------------------------------------------------------------- #
+# The process tracer.
+# ---------------------------------------------------------------------- #
+
+_PROCESS_TRACER: Optional[Tracer] = None
+_ENV_CHECKED = False
+_GLOBAL_LOCK = threading.Lock()
+
+
+def maybe_tracer(service: Optional[str] = None) -> Optional[Tracer]:
+    """The process tracer, or ``None`` when tracing is detached.
+
+    Detached is the default: without an installed tracer or a
+    ``REPRO_TRACE_DIR`` environment variable this returns ``None`` and
+    callers skip all span work (the no-op-when-detached contract).  The
+    first call with the env var set creates the spooling tracer;
+    *service* only names it at that creation (later hints are ignored).
+    """
+    global _PROCESS_TRACER, _ENV_CHECKED
+    if _PROCESS_TRACER is not None:
+        return _PROCESS_TRACER
+    if _ENV_CHECKED:
+        return None
+    with _GLOBAL_LOCK:
+        if _PROCESS_TRACER is None and not _ENV_CHECKED:
+            directory = os.environ.get(TRACE_DIR_ENV)
+            if directory:
+                _PROCESS_TRACER = Tracer(
+                    service=(service
+                             or os.environ.get(TRACE_SERVICE_ENV)
+                             or "repro"),
+                    spool_dir=directory,
+                )
+            _ENV_CHECKED = True
+    return _PROCESS_TRACER
+
+
+def install_tracer(tracer: Tracer) -> Tracer:
+    """Make *tracer* the process tracer (tests, embedded servers)."""
+    global _PROCESS_TRACER, _ENV_CHECKED
+    with _GLOBAL_LOCK:
+        _PROCESS_TRACER = tracer
+        _ENV_CHECKED = True
+    return tracer
+
+
+def uninstall_tracer() -> None:
+    """Detach: back to the env-driven default on the next lookup."""
+    global _PROCESS_TRACER, _ENV_CHECKED
+    with _GLOBAL_LOCK:
+        _PROCESS_TRACER = None
+        _ENV_CHECKED = False
+
+
+# ---------------------------------------------------------------------- #
+# Latency summaries (the /v1/status observatory reads these).
+# ---------------------------------------------------------------------- #
+
+
+def _percentile(ordered: List[float], quantile: float) -> float:
+    """Nearest-rank percentile of an already-sorted list."""
+    if not ordered:
+        return 0.0
+    rank = max(
+        0, min(len(ordered) - 1, int(round(quantile * (len(ordered) - 1))))
+    )
+    return ordered[rank]
+
+
+def span_latency_summary(rows: Iterable[dict], name: str) -> dict:
+    """p50/p95/max/mean duration (ms) of the spans named *name*."""
+    durations = sorted(
+        (row["end_unix"] - row["start_unix"]) * 1e3
+        for row in rows
+        if row.get("name") == name
+    )
+    if not durations:
+        return {"count": 0, "p50_ms": 0.0, "p95_ms": 0.0,
+                "max_ms": 0.0, "mean_ms": 0.0}
+    return {
+        "count": len(durations),
+        "p50_ms": round(_percentile(durations, 0.50), 3),
+        "p95_ms": round(_percentile(durations, 0.95), 3),
+        "max_ms": round(durations[-1], 3),
+        "mean_ms": round(sum(durations) / len(durations), 3),
+    }

@@ -12,6 +12,7 @@ Endpoints (auth = Bearer token when a tokens file is configured)::
     GET  /v1/jobs/<id>/result    the result envelope              [auth]
     GET  /v1/artifacts/<key>     content-addressed JSON artifact  [auth]
     PUT  /v1/artifacts/<key>     upload an artifact under <key>   [auth]
+    GET  /v1/status              live observatory snapshot        [auth]
     GET  /metrics                text exposition (open, for scrapers)
     GET  /healthz                liveness + queue counts (open)
 
@@ -34,11 +35,14 @@ import asyncio
 import json
 import re
 import threading
+import time
 from pathlib import Path
 from typing import Optional, Tuple
 
 from repro.engine.store import ResultCache, ResultStore
 from repro.envelope import error_envelope, make_envelope
+from repro.obs.log import get_logger
+from repro.obs.spans import Tracer, maybe_tracer, span_latency_summary
 from repro.server.auth import ANONYMOUS, RateLimiter, TokenAuth
 from repro.server.jobspec import (
     JOB_KINDS,
@@ -95,9 +99,15 @@ class ReproServer:
             self.cache = None
         self.auth = auth
         self.limiter = RateLimiter()
+        # The tracer is always on in-memory (the /v1/status latency
+        # summaries need the span ring even for a detached run); it only
+        # spools to disk when REPRO_TRACE_DIR is set.
+        self.tracer = maybe_tracer("server") or Tracer("server")
+        self._spans_ingested = 0  # /metrics histogram drain cursor
         self.pool = WorkerPool(
             self.queue, self.artifacts, cache=self.cache, workers=workers,
             engine_jobs=engine_jobs, metrics=self.metrics,
+            tracer=self.tracer,
         )
         self.max_body = max_body
         self.request_timeout = request_timeout
@@ -117,6 +127,8 @@ class ReproServer:
              "artifacts.get", self._get_artifact, True),
             ("PUT", re.compile(r"^/v1/artifacts/([0-9a-f]{64})$"),
              "artifacts.put", self._put_artifact, True),
+            ("GET", re.compile(r"^/v1/status$"), "status",
+             self._get_status, True),
             ("GET", re.compile(r"^/metrics$"), "metrics",
              self._get_metrics, False),
             ("GET", re.compile(r"^/healthz$"), "healthz",
@@ -377,31 +389,51 @@ class ReproServer:
             "server_submissions_total", "job submissions by kind"
         ).labels(kind=kind).inc()
 
+        # The trace context rides at the request's top level, not inside
+        # the spec (validate_spec rejects unknown spec fields).  A
+        # malformed header starts a fresh trace rather than erroring.
+        client_traceparent = request.get("traceparent")
+        if not isinstance(client_traceparent, str):
+            client_traceparent = None
+        submit_span = self.tracer.start_span(
+            "submit", parent=client_traceparent,
+            attrs={"kind": kind, "principal": principal.name},
+        )
         record = JobRecord(
             id=content_key(kind, spec), kind=kind, spec=spec,
             priority=priority, max_retries=self.queue.max_retries,
             principal=principal.name,
+            traceparent=submit_span.traceparent(),
         )
-        with self._submit_lock:
-            existing = self.queue.get(record.id)
-            if existing is not None:
-                stored, _created = self.queue.submit(record)
-                self.metrics.counter(
-                    "server_jobs_deduped_total",
-                    "submissions answered by an existing job",
-                ).labels(kind=kind).inc()
-                return 200, self._job_payload(stored), {}
-            if is_warm(kind, spec, self.cache):
-                # Warm cache: complete inline, queue and workers skipped.
-                stored, _created = self.queue.submit(record)
-                finished = self.pool.run_job(stored, cached=True)
-                self.metrics.counter(
-                    "server_cache_shortcircuit_total",
-                    "submissions completed from the result cache",
-                ).labels(kind=kind).inc()
-                return 200, self._job_payload(finished), {}
-            self.queue.submit(record)
-        return 202, self._job_payload(record), {}
+        outcome = "queued"
+        try:
+            with self._submit_lock:
+                existing = self.queue.get(record.id)
+                if existing is not None:
+                    stored, _created = self.queue.submit(record)
+                    self.metrics.counter(
+                        "server_jobs_deduped_total",
+                        "submissions answered by an existing job",
+                    ).labels(kind=kind).inc()
+                    outcome = "deduped"
+                    return 200, self._job_payload(stored), {}
+                if is_warm(kind, spec, self.cache):
+                    # Warm cache: complete inline, queue and workers
+                    # skipped.
+                    stored, _created = self.queue.submit(record)
+                    finished = self.pool.run_job(stored, cached=True)
+                    self.metrics.counter(
+                        "server_cache_shortcircuit_total",
+                        "submissions completed from the result cache",
+                    ).labels(kind=kind).inc()
+                    outcome = "cache_shortcircuit"
+                    return 200, self._job_payload(finished), {}
+                self.queue.submit(record)
+            return 202, self._job_payload(record), {}
+        finally:
+            submit_span.attrs["job_id"] = record.id
+            submit_span.attrs["outcome"] = outcome
+            submit_span.end()
 
     def _resolve(self, job_id: str) -> Optional[JobRecord]:
         record = self.queue.get(job_id)
@@ -476,6 +508,114 @@ class ReproServer:
             "artifact", key=key, link="/v1/artifacts/%s" % key,
         ), {}
 
+    def _get_status(self, match, headers, body, principal):
+        """Live observatory snapshot: queue, workers, cache, latencies.
+
+        Everything span-derived comes from the server tracer's in-memory
+        ring, so the endpoint works identically whether or not spooling
+        (``REPRO_TRACE_DIR``) is enabled.
+        """
+        now = time.time()
+        records = self.queue.records()
+        by_kind: dict = {}
+        running = []
+        for record in records:
+            entry = by_kind.setdefault(
+                record.kind, {"queued": 0, "running": 0, "done": 0,
+                              "failed": 0, "cached": 0},
+            )
+            entry[record.state] += 1
+            if record.cached:
+                entry["cached"] += 1
+            if record.state == "running":
+                running.append({
+                    "id": record.id[:12],
+                    "kind": record.kind,
+                    "attempt": record.attempts,
+                    "running_seconds": round(
+                        max(0.0, now - record.started_unix), 3
+                    ) if record.started_unix else 0.0,
+                })
+        cache_info = None
+        if self.cache is not None:
+            stats = getattr(self.cache, "stats", None)
+            if stats is not None:
+                lookups = stats.hits + stats.misses
+                cache_info = {
+                    "hits": stats.hits,
+                    "misses": stats.misses,
+                    "stores": stats.stores,
+                    "errors": stats.errors,
+                    "hit_rate": round(stats.hits / lookups, 4)
+                    if lookups else 0.0,
+                }
+        rows = self.tracer.finished()
+        # Per-worker lease accounting exists when the engine ran a
+        # socket backend inside this process (the coordinator records
+        # "lease" spans into the same process tracer).
+        leases: dict = {}
+        for row in rows:
+            if row.get("name") != "lease":
+                continue
+            worker = (row.get("attrs") or {}).get("worker", "?")
+            entry = leases.setdefault(
+                worker, {"leases": 0, "busy_ms": 0.0, "errors": 0},
+            )
+            entry["leases"] += 1
+            entry["busy_ms"] = round(
+                entry["busy_ms"]
+                + (row["end_unix"] - row["start_unix"]) * 1e3, 3,
+            )
+            if row.get("status") != "ok":
+                entry["errors"] += 1
+        return 200, make_envelope(
+            "status",
+            queue=self.queue.counts(),
+            jobs={"total": len(records), "by_kind": by_kind},
+            running=running,
+            workers={
+                "threads": self.pool.workers,
+                "executed": self.pool.executed,
+                "leases": leases,
+            },
+            cache=cache_info,
+            latency={
+                "queue_wait": span_latency_summary(rows, "queue.wait"),
+                "execute": span_latency_summary(rows, "job.execute"),
+            },
+            tracing=self.tracer.describe(),
+        ), {}
+
+    #: Span names mirrored into /metrics latency histograms.
+    _SPAN_HISTOGRAMS = {
+        "queue.wait": (
+            "server_queue_wait_milliseconds",
+            "span-derived queue wait before a worker claims a job",
+        ),
+        "job.execute": (
+            "server_execute_milliseconds",
+            "span-derived wall time executing a job",
+        ),
+    }
+
+    def _ingest_span_metrics(self) -> None:
+        """Drain spans finished since the last scrape into histograms.
+
+        The cursor (``_spans_ingested``) makes the drain incremental, so
+        back-to-back /metrics scrapes never double-count a span.
+        """
+        cursor, fresh = self.tracer.since(self._spans_ingested)
+        for row in fresh:
+            entry = self._SPAN_HISTOGRAMS.get(row.get("name"))
+            if entry is None:
+                continue
+            name, help_text = entry
+            kind = str((row.get("attrs") or {}).get("kind", ""))
+            self.metrics.histogram(name, help_text).labels(
+                kind=kind
+            ).observe((row["end_unix"] - row["start_unix"]) * 1e3)
+        self._spans_ingested = cursor
+
     def _get_metrics(self, match, headers, body, principal):
         from repro.obs.metrics import text_exposition
 
@@ -485,6 +625,9 @@ class ReproServer:
         )
         for state, count in counts.items():
             gauge.labels(state=state).set(count)
+        self._ingest_span_metrics()
+        if self.cache is not None:
+            self.pool._sync_cache_metrics()
         return 200, text_exposition(self.metrics), {}
 
     def _get_healthz(self, match, headers, body, principal):
@@ -534,15 +677,19 @@ def serve(
 ) -> None:
     """Blocking entry point used by ``nda-repro serve``."""
 
+    log = get_logger("server")
+
     async def _main() -> None:
         server = ReproServer(**server_kwargs)
         await server.start(host, port)
-        print("repro server listening on http://%s:%d" % server.address)
-        print("queue dir: %s   cache: %s   auth: %s" % (
-            server.queue_dir,
-            server.cache.describe() if server.cache else "disabled",
-            "enabled" if server.auth else "disabled",
-        ))
+        log.info(
+            "server.listening",
+            url="http://%s:%d" % server.address,
+            queue_dir=str(server.queue_dir),
+            cache=server.cache.describe() if server.cache else "disabled",
+            auth="enabled" if server.auth else "disabled",
+            tracing=server.tracer.describe(),
+        )
         try:
             await server.serve_forever()
         finally:
@@ -551,4 +698,4 @@ def serve(
     try:
         asyncio.run(_main())
     except KeyboardInterrupt:
-        print("\nserver stopped")
+        log.info("server.stopped", reason="keyboard-interrupt")

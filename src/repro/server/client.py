@@ -166,13 +166,17 @@ class ServerClient:
         return self._request("GET", "/healthz")[1]
 
     def submit(self, kind: str, spec: Optional[dict] = None,
-               priority: int = 0) -> JobStatus:
+               priority: int = 0,
+               traceparent: Optional[str] = None) -> JobStatus:
         """Submit one job; returns its status (possibly already done —
         idempotent resubmissions and warm-cache sweeps come back
-        ``state == "done"`` immediately)."""
-        _status, envelope = self._request("POST", "/v1/jobs", body={
-            "kind": kind, "spec": spec or {}, "priority": priority,
-        })
+        ``state == "done"`` immediately).  *traceparent* (a W3C-style
+        header from :mod:`repro.obs.spans`) links the server-side spans
+        to the caller's trace."""
+        body = {"kind": kind, "spec": spec or {}, "priority": priority}
+        if traceparent:
+            body["traceparent"] = traceparent
+        _status, envelope = self._request("POST", "/v1/jobs", body=body)
         return JobStatus.from_envelope(envelope)
 
     def job(self, job_id: str) -> JobStatus:
@@ -188,6 +192,12 @@ class ServerClient:
 
     def metrics_text(self) -> str:
         return self._request("GET", "/metrics")[1]
+
+    def status(self) -> dict:
+        """Live observatory snapshot (``GET /v1/status``): queue depth,
+        per-kind progress, worker throughput, cache hit rate, and
+        span-derived queue-wait / execute latency summaries."""
+        return self._request("GET", "/v1/status")[1]
 
     def wait(self, job_id: str, timeout: float = 120.0,
              poll: float = 0.1) -> JobStatus:

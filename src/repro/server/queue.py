@@ -65,6 +65,12 @@ class JobRecord:
     result_key: str = ""
     artifacts: Dict[str, str] = field(default_factory=dict)
     seq: int = 0  # FIFO tie-break within a priority
+    #: W3C traceparent of the submit span (see :mod:`repro.obs.spans`);
+    #: empty when the submission was untraced.  Persisted with the
+    #: record so a requeue-after-crash still executes under the
+    #: submitting client's trace.  Old records without the field load
+    #: fine (``from_dict`` fills the default).
+    traceparent: str = ""
 
     @property
     def retries(self) -> int:

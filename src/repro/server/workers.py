@@ -23,9 +23,12 @@ over HTTP instead of a function call.
 from __future__ import annotations
 
 import threading
+import time
 import traceback
 from typing import Optional
 
+from repro.obs.log import get_logger
+from repro.obs.spans import parse_traceparent
 from repro.server.jobspec import EXECUTORS
 from repro.server.queue import ArtifactStore, DurableQueue, JobRecord
 
@@ -43,6 +46,7 @@ class WorkerPool:
         engine_jobs: int = 1,
         metrics=None,
         claim_timeout: float = 0.2,
+        tracer=None,
     ) -> None:
         self.queue = queue
         self.artifacts = artifacts
@@ -51,6 +55,8 @@ class WorkerPool:
         self.engine_jobs = engine_jobs
         self.metrics = metrics
         self.claim_timeout = claim_timeout
+        self.tracer = tracer
+        self.log = get_logger("server")
         self.executed = 0  # jobs this pool ran (cache short-circuits skip it)
         self._threads: list = []
         self._stop = threading.Event()
@@ -93,6 +99,36 @@ class WorkerPool:
         """Execute one claimed record end to end (also used inline by
         the submission path for warm-cache short-circuits, which pass
         ``cached=True`` to stamp the record)."""
+        tracer = self.tracer
+        if tracer is None:
+            return self._run_job(record, cached)
+        parent = record.traceparent or None
+        # Queue wait is reconstructed from the durable record's own
+        # timestamps, so it is exact even though the span is recorded
+        # only now, at claim time.
+        if not cached and record.submitted_unix:
+            claimed = record.started_unix or time.time()
+            if claimed > record.submitted_unix:
+                tracer.record(
+                    "queue.wait", record.submitted_unix, claimed,
+                    parent=parent,
+                    attrs={"job_id": record.id, "kind": record.kind,
+                           "attempt": record.attempts},
+                )
+        with tracer.span(
+            "job.execute", parent=parent,
+            attrs={"job_id": record.id, "kind": record.kind,
+                   "cached": bool(cached)},
+        ) as span:
+            updated = self._run_job(record, cached)
+            if updated.state == "failed" or updated.error:
+                span.attrs["state"] = updated.state
+                span.end(status="error")
+        return updated
+
+    def _run_job(self, record: JobRecord, cached: bool) -> JobRecord:
+        context = parse_traceparent(record.traceparent)
+        trace_id = context.trace_id if context is not None else None
         try:
             envelope, engine_stats = EXECUTORS[record.kind](
                 record.spec, **(
@@ -123,6 +159,10 @@ class WorkerPool:
                     "traceback": traceback.format_exc(),
                 }),
             )
+            self.log.error(
+                "job.failed", job_id=record.id, kind=record.kind,
+                state=updated.state, error=detail, trace_id=trace_id,
+            )
             return updated
         self.executed += 1
         result_key = self.artifacts.store(envelope)
@@ -134,6 +174,10 @@ class WorkerPool:
             })
         if self.metrics is not None:
             self._ingest(record, engine_stats)
+        self.log.info(
+            "job.done", job_id=record.id, kind=record.kind,
+            cached=bool(cached), trace_id=trace_id,
+        )
         return self.queue.complete(
             record.id, result_key=result_key, artifacts=artifacts,
             cached=cached,
@@ -157,14 +201,26 @@ class WorkerPool:
         """Mirror the shared ResultCache counters into gauges.
 
         The cache object is cumulative across jobs, so counters would
-        double-count; gauges track the live totals instead.
+        double-count; gauges track the live totals instead.  A tiered
+        store additionally exports its per-tier detail (the
+        ``RemoteArtifactStore`` hit/miss/error counters were previously
+        counted but never surfaced) under a ``tier`` label.
         """
-        stats = self.cache.stats
-        for name in ("hits", "misses", "stores", "errors"):
-            self.metrics.gauge(
-                "server_result_cache_" + name,
-                "shared result-cache accounting",
-            ).labels().set(getattr(stats, name))
+        tiers = [({}, self.cache)]
+        local = getattr(self.cache, "local", None)
+        remote = getattr(self.cache, "remote", None)
+        if local is not None and remote is not None:
+            tiers.append(({"tier": "local"}, local))
+            tiers.append(({"tier": "remote"}, remote))
+        for labels, store in tiers:
+            stats = getattr(store, "stats", None)
+            if stats is None:
+                continue
+            for name in ("hits", "misses", "stores", "errors"):
+                self.metrics.gauge(
+                    "server_result_cache_" + name,
+                    "shared result-cache accounting",
+                ).labels(**labels).set(getattr(stats, name))
 
 
 def run_one(record: JobRecord, pool: WorkerPool) -> Optional[JobRecord]:

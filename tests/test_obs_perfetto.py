@@ -22,6 +22,7 @@ from repro.obs import (
     counter_trace_events,
     engine_trace_events,
     lifecycle_trace_events,
+    smt_trace_events,
     validate_chrome_trace,
     write_chrome_trace,
 )
@@ -174,6 +175,75 @@ class TestEngineEvents:
 
     def test_empty_trace_is_empty(self):
         assert engine_trace_events([]) == []
+
+
+class TestSmtCrossAttackTrace:
+    """A real two-context cross-attack run renders one Perfetto lane
+    group per hardware context (the ISSUE 10 satellite case)."""
+
+    @pytest.fixture(scope="class")
+    def cross_attack_events(self):
+        from dataclasses import replace
+
+        from repro.config import SimConfig
+        from repro.fuzz.generator import generate_smt
+        from repro.smt import SmtMachine
+
+        pair = generate_smt(3, template="smt-btb-poison")
+        config = replace(
+            SimConfig(), num_contexts=2, sharing="smt",
+            engine="reference",
+        ).validate()
+        machine = SmtMachine(
+            [pair.attacker, pair.victim.program], config,
+        )
+        tracers = [
+            PipelineTracer.attach(core, limit=50_000)
+            for core in machine.cores
+        ]
+        outcomes = machine.run(max_cycles=400_000)
+        events = smt_trace_events([t.records for t in tracers])
+        return tracers, outcomes, events
+
+    def test_trace_validates(self, cross_attack_events, tmp_path):
+        _, _, events = cross_attack_events
+        assert validate_chrome_trace(events) == []
+        path = write_chrome_trace(
+            str(tmp_path / "cross.json"), events,
+            metadata={"template": "smt-btb-poison", "sharing": "smt"},
+        )
+        assert validate_chrome_trace(json.loads(open(path).read())) == []
+
+    def test_distinct_lanes_per_context(self, cross_attack_events):
+        tracers, outcomes, events = cross_attack_events
+        for context, (tracer, outcome) in enumerate(
+            zip(tracers, outcomes)
+        ):
+            assert outcome.stats.committed > 0
+            assert tracer.records, "context %d traced nothing" % context
+        slices = [e for e in events if e["ph"] == "X"]
+        assert {e["pid"] for e in slices} == {
+            PIPELINE_PID, PIPELINE_PID + 1,
+        }
+        # Both contexts advance on the shared cycle ruler: their slice
+        # timestamp ranges overlap rather than running back to back.
+        spans = {
+            pid: (
+                min(e["ts"] for e in slices if e["pid"] == pid),
+                max(e["ts"] for e in slices if e["pid"] == pid),
+            )
+            for pid in (PIPELINE_PID, PIPELINE_PID + 1)
+        }
+        (a_lo, a_hi), (b_lo, b_hi) = spans.values()
+        assert a_lo <= b_hi and b_lo <= a_hi
+
+    def test_process_names_identify_contexts(self, cross_attack_events):
+        _, _, events = cross_attack_events
+        names = {
+            e["args"]["name"] for e in events if e["ph"] == "M"
+            and e.get("name") == "process_name"
+        }
+        assert names == {"context 0 pipeline", "context 1 pipeline"}
 
 
 class TestValidation:
